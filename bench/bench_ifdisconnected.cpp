@@ -1,0 +1,178 @@
+//===- bench/bench_ifdisconnected.cpp -------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// E5 — §5.2: the efficient `if disconnected` check.
+//
+//  - Detaching one object from an n-object region: the refcount-based
+//    interleaved traversal is O(1) regardless of n; the naive exact check
+//    is O(n).
+//  - Detaching a k-object subgraph: O(k) vs O(n).
+//  - The "buggy" case (arguments still connected): the interleaved
+//    traversal still terminates after O(min-side) work — the paper's
+//    claim that buggy uses cost nearly nothing extra.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "runtime/Disconnected.h"
+#include "runtime/Heap.h"
+#include "sema/StructTable.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace fearless;
+
+namespace {
+
+/// A heap containing one circular doubly linked region of n nodes, plus a
+/// detached subgraph of k nodes (self-contained ring).
+struct Workload {
+  std::optional<Program> Prog;
+  StructTable Structs;
+  std::unique_ptr<Heap> TheHeap;
+  Loc RegionRoot;   // root of the n-node ring
+  Loc DetachedRoot; // root of the k-node ring
+  Symbol NextSym, PrevSym;
+
+  Workload(size_t N, size_t K, bool Connected) {
+    DiagnosticEngine Diags;
+    Prog = parseProgram(R"(
+struct node {
+  iso item : node?;
+  next : node?;
+  prev : node?;
+}
+)",
+                        Diags);
+    Structs.build(*Prog, Diags);
+    TheHeap = std::make_unique<Heap>(Structs, N + K + 16);
+    NextSym = Prog->Names.intern("next");
+    PrevSym = Prog->Names.intern("prev");
+    RegionRoot = ring(N);
+    DetachedRoot = ring(K);
+    if (Connected) {
+      // Sneak one non-iso edge from the big ring into the small one: the
+      // "buggy code" case — the graphs are not actually disjoint.
+      link(RegionRoot, NextSym, DetachedRoot);
+    }
+  }
+
+  void link(Loc From, Symbol Field, Loc To) {
+    const FieldInfo *F = TheHeap->get(From).Struct->findField(Field);
+    TheHeap->setField(From, F->Index, Value::locVal(To));
+  }
+
+  Loc ring(size_t N) {
+    std::vector<Loc> Nodes;
+    Symbol NodeSym = Prog->Names.intern("node");
+    for (size_t I = 0; I < N; ++I)
+      Nodes.push_back(TheHeap->allocate(NodeSym));
+    for (size_t I = 0; I < N; ++I) {
+      link(Nodes[I], NextSym, Nodes[(I + 1) % N]);
+      link(Nodes[I], PrevSym, Nodes[(I + N - 1) % N]);
+    }
+    return Nodes.front();
+  }
+};
+
+void BM_RefCount_DetachSmall(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Workload W(N, /*K=*/1, /*Connected=*/false);
+  size_t Visited = 0;
+  for (auto _ : State) {
+    DisconnectOutcome Out = checkDisconnectedRefCount(
+        *W.TheHeap, W.DetachedRoot, W.RegionRoot);
+    benchmark::DoNotOptimize(Out.Disconnected);
+    Visited = Out.ObjectsVisited;
+  }
+  State.counters["visited"] = static_cast<double>(Visited);
+  State.counters["region_size"] = static_cast<double>(N);
+}
+BENCHMARK(BM_RefCount_DetachSmall)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(1 << 20);
+
+void BM_Naive_DetachSmall(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Workload W(N, /*K=*/1, /*Connected=*/false);
+  size_t Visited = 0;
+  for (auto _ : State) {
+    DisconnectOutcome Out =
+        checkDisconnectedNaive(*W.TheHeap, W.DetachedRoot, W.RegionRoot);
+    benchmark::DoNotOptimize(Out.Disconnected);
+    Visited = Out.ObjectsVisited;
+  }
+  State.counters["visited"] = static_cast<double>(Visited);
+  State.counters["region_size"] = static_cast<double>(N);
+}
+BENCHMARK(BM_Naive_DetachSmall)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(1 << 20);
+
+void BM_RefCount_DetachSubgraph(benchmark::State &State) {
+  size_t K = static_cast<size_t>(State.range(0));
+  Workload W(/*N=*/1 << 18, K, /*Connected=*/false);
+  size_t Visited = 0;
+  for (auto _ : State) {
+    DisconnectOutcome Out = checkDisconnectedRefCount(
+        *W.TheHeap, W.DetachedRoot, W.RegionRoot);
+    benchmark::DoNotOptimize(Out.Disconnected);
+    Visited = Out.ObjectsVisited;
+  }
+  State.counters["visited"] = static_cast<double>(Visited);
+  State.counters["detached_size"] = static_cast<double>(K);
+}
+BENCHMARK(BM_RefCount_DetachSubgraph)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096);
+
+void BM_RefCount_BuggyStillConnected(benchmark::State &State) {
+  // The arguments' graphs intersect (the programmer forgot to repoint a
+  // field, the Fig. 5 discussion): the interleaved traversal detects the
+  // intersection after exploring only the small side.
+  size_t N = static_cast<size_t>(State.range(0));
+  Workload W(N, /*K=*/2, /*Connected=*/true);
+  size_t Visited = 0;
+  for (auto _ : State) {
+    DisconnectOutcome Out = checkDisconnectedRefCount(
+        *W.TheHeap, W.DetachedRoot, W.RegionRoot);
+    benchmark::DoNotOptimize(Out.Disconnected);
+    Visited = Out.ObjectsVisited;
+  }
+  State.counters["visited"] = static_cast<double>(Visited);
+  State.counters["region_size"] = static_cast<double>(N);
+}
+BENCHMARK(BM_RefCount_BuggyStillConnected)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(65536);
+
+void BM_Naive_BuggyStillConnected(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Workload W(N, /*K=*/2, /*Connected=*/true);
+  size_t Visited = 0;
+  for (auto _ : State) {
+    DisconnectOutcome Out =
+        checkDisconnectedNaive(*W.TheHeap, W.DetachedRoot, W.RegionRoot);
+    benchmark::DoNotOptimize(Out.Disconnected);
+    Visited = Out.ObjectsVisited;
+  }
+  State.counters["visited"] = static_cast<double>(Visited);
+  State.counters["region_size"] = static_cast<double>(N);
+}
+BENCHMARK(BM_Naive_BuggyStillConnected)->Arg(256)->Arg(4096)->Arg(65536);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+//===- ast/Ast.cpp --------------------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Ast.h"
+
+#include <algorithm>
+
+using namespace fearless;
+
+const char *fearless::toString(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+const char *fearless::toString(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Not:
+    return "!";
+  case UnaryOp::Neg:
+    return "-";
+  }
+  return "?";
+}
+
+const FieldDecl *StructDecl::findField(Symbol FieldName) const {
+  for (const FieldDecl &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+const ParamDecl *FnDecl::findParam(Symbol ParamName) const {
+  for (const ParamDecl &P : Params)
+    if (P.Name == ParamName)
+      return &P;
+  return nullptr;
+}
+
+bool FnDecl::isConsumed(Symbol Param) const {
+  return std::find(Consumes.begin(), Consumes.end(), Param) !=
+         Consumes.end();
+}
+
+bool FnDecl::isPinned(Symbol Param) const {
+  return std::find(Pinned.begin(), Pinned.end(), Param) != Pinned.end();
+}
+
+const StructDecl *Program::findStruct(Symbol Name) const {
+  for (const StructDecl &S : Structs)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+const FnDecl *Program::findFunction(Symbol Name) const {
+  for (const FnDecl &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}

@@ -1,0 +1,244 @@
+//===- ast/AstPrinter.cpp -------------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+
+#include <sstream>
+
+using namespace fearless;
+
+namespace {
+
+/// Stateful printer carrying the interner.
+class Printer {
+public:
+  explicit Printer(const Interner &Names) : Names(Names) {}
+
+  void print(const Expr &E, std::ostream &OS) {
+    switch (E.kind()) {
+    case ExprKind::IntLit:
+      OS << cast<IntLitExpr>(E).Value;
+      return;
+    case ExprKind::BoolLit:
+      OS << (cast<BoolLitExpr>(E).Value ? "true" : "false");
+      return;
+    case ExprKind::UnitLit:
+      OS << "unit";
+      return;
+    case ExprKind::VarRef:
+      OS << Names.spelling(cast<VarRefExpr>(E).Name);
+      return;
+    case ExprKind::FieldRef: {
+      const auto &F = cast<FieldRefExpr>(E);
+      print(*F.Base, OS);
+      OS << '.' << Names.spelling(F.Field);
+      return;
+    }
+    case ExprKind::AssignVar: {
+      const auto &A = cast<AssignVarExpr>(E);
+      OS << Names.spelling(A.Name) << " = ";
+      print(*A.Value, OS);
+      return;
+    }
+    case ExprKind::AssignField: {
+      const auto &A = cast<AssignFieldExpr>(E);
+      print(*A.Base, OS);
+      OS << '.' << Names.spelling(A.Field) << " = ";
+      print(*A.Value, OS);
+      return;
+    }
+    case ExprKind::Let: {
+      const auto &L = cast<LetExpr>(E);
+      OS << "let " << Names.spelling(L.Name);
+      if (L.Declared.isValid())
+        OS << " : " << toString(L.Declared, Names);
+      OS << " = ";
+      print(*L.Init, OS);
+      OS << " in ";
+      print(*L.Body, OS);
+      return;
+    }
+    case ExprKind::LetSome: {
+      const auto &L = cast<LetSomeExpr>(E);
+      OS << "let some(" << Names.spelling(L.Name) << ") = ";
+      print(*L.Scrutinee, OS);
+      OS << " in ";
+      print(*L.SomeBody, OS);
+      OS << " else ";
+      print(*L.NoneBody, OS);
+      return;
+    }
+    case ExprKind::If: {
+      const auto &I = cast<IfExpr>(E);
+      OS << "if (";
+      print(*I.Cond, OS);
+      OS << ") ";
+      print(*I.Then, OS);
+      if (I.Else) {
+        OS << " else ";
+        print(*I.Else, OS);
+      }
+      return;
+    }
+    case ExprKind::IfDisconnected: {
+      const auto &I = cast<IfDisconnectedExpr>(E);
+      OS << "if disconnected(" << Names.spelling(I.VarA) << ", "
+         << Names.spelling(I.VarB) << ") ";
+      print(*I.Then, OS);
+      OS << " else ";
+      print(*I.Else, OS);
+      return;
+    }
+    case ExprKind::While: {
+      const auto &W = cast<WhileExpr>(E);
+      OS << "while (";
+      print(*W.Cond, OS);
+      OS << ") ";
+      print(*W.Body, OS);
+      return;
+    }
+    case ExprKind::Seq: {
+      const auto &S = cast<SeqExpr>(E);
+      OS << "{ ";
+      for (size_t I = 0; I < S.Elems.size(); ++I) {
+        if (I != 0)
+          OS << "; ";
+        print(*S.Elems[I], OS);
+      }
+      OS << " }";
+      return;
+    }
+    case ExprKind::New: {
+      const auto &N = cast<NewExpr>(E);
+      OS << "new " << Names.spelling(N.StructName) << '(';
+      for (size_t I = 0; I < N.Args.size(); ++I) {
+        if (I != 0)
+          OS << ", ";
+        print(*N.Args[I], OS);
+      }
+      OS << ')';
+      return;
+    }
+    case ExprKind::SomeExpr: {
+      OS << "some (";
+      print(*cast<SomeExpr>(E).Operand, OS);
+      OS << ')';
+      return;
+    }
+    case ExprKind::NoneLit:
+      OS << "none";
+      return;
+    case ExprKind::IsNone: {
+      OS << "is_none(";
+      print(*cast<IsNoneExpr>(E).Operand, OS);
+      OS << ')';
+      return;
+    }
+    case ExprKind::Send: {
+      OS << "send(";
+      print(*cast<SendExpr>(E).Operand, OS);
+      OS << ')';
+      return;
+    }
+    case ExprKind::Recv:
+      OS << "recv<" << toString(cast<RecvExpr>(E).ValueType, Names)
+         << ">()";
+      return;
+    case ExprKind::Call: {
+      const auto &C = cast<CallExpr>(E);
+      OS << Names.spelling(C.Callee) << '(';
+      for (size_t I = 0; I < C.Args.size(); ++I) {
+        if (I != 0)
+          OS << ", ";
+        print(*C.Args[I], OS);
+      }
+      OS << ')';
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto &B = cast<BinaryExpr>(E);
+      OS << '(';
+      print(*B.Lhs, OS);
+      OS << ' ' << toString(B.Op) << ' ';
+      print(*B.Rhs, OS);
+      OS << ')';
+      return;
+    }
+    case ExprKind::Unary: {
+      const auto &U = cast<UnaryExpr>(E);
+      OS << toString(U.Op);
+      print(*U.Operand, OS);
+      return;
+    }
+    }
+  }
+
+private:
+  const Interner &Names;
+};
+
+} // namespace
+
+std::string fearless::printExpr(const Expr &E, const Interner &Names) {
+  std::ostringstream OS;
+  Printer(Names).print(E, OS);
+  return OS.str();
+}
+
+std::string fearless::printProgram(const Program &P) {
+  std::ostringstream OS;
+  for (const StructDecl &S : P.Structs) {
+    OS << "struct " << P.Names.spelling(S.Name) << " {\n";
+    for (const FieldDecl &F : S.Fields) {
+      OS << "  ";
+      if (F.Iso)
+        OS << "iso ";
+      OS << P.Names.spelling(F.Name) << " : "
+         << toString(F.FieldType, P.Names) << ";\n";
+    }
+    OS << "}\n\n";
+  }
+  for (const FnDecl &F : P.Functions) {
+    OS << "def " << P.Names.spelling(F.Name) << '(';
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      OS << P.Names.spelling(F.Params[I].Name) << " : "
+         << toString(F.Params[I].ParamType, P.Names);
+    }
+    OS << ") : " << toString(F.ReturnType, P.Names);
+    for (Symbol C : F.Consumes)
+      OS << " consumes " << P.Names.spelling(C);
+    for (Symbol Pn : F.Pinned)
+      OS << " pinned " << P.Names.spelling(Pn);
+    auto PrintPath = [&](const AnnotPath &Path) {
+      if (Path.IsResult) {
+        OS << "result";
+        return;
+      }
+      OS << P.Names.spelling(Path.Base);
+      if (Path.Field.isValid())
+        OS << '.' << P.Names.spelling(Path.Field);
+    };
+    auto PrintRels = [&](const char *Keyword,
+                         const std::vector<AfterRelation> &Rels) {
+      if (Rels.empty())
+        return;
+      OS << ' ' << Keyword << ": ";
+      for (size_t I = 0; I < Rels.size(); ++I) {
+        if (I != 0)
+          OS << ", ";
+        PrintPath(Rels[I].Lhs);
+        OS << " ~ ";
+        PrintPath(Rels[I].Rhs);
+      }
+    };
+    PrintRels("before", F.Befores);
+    PrintRels("after", F.Afters);
+    OS << ' ' << printExpr(*F.Body, P.Names) << "\n\n";
+  }
+  return OS.str();
+}

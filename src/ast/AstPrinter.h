@@ -1,0 +1,31 @@
+//===- ast/AstPrinter.h - Pretty-print the AST -----------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders expressions and declarations back to the surface syntax. Used in
+/// diagnostics, derivation dumps, and tests (round-trip checks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_AST_ASTPRINTER_H
+#define FEARLESS_AST_ASTPRINTER_H
+
+#include "ast/Ast.h"
+
+#include <string>
+
+namespace fearless {
+
+/// Renders \p E in surface syntax (single line, fully parenthesized where
+/// needed).
+std::string printExpr(const Expr &E, const Interner &Names);
+
+/// Renders a whole program, one declaration per block.
+std::string printProgram(const Program &P);
+
+} // namespace fearless
+
+#endif // FEARLESS_AST_ASTPRINTER_H

@@ -1,0 +1,49 @@
+//===- ast/Types.cpp ------------------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Types.h"
+
+#include <cassert>
+
+using namespace fearless;
+
+Type Type::asMaybe() const {
+  assert(!Maybe && "maybe types do not nest");
+  Type Result = *this;
+  Result.Maybe = true;
+  return Result;
+}
+
+Type Type::stripMaybe() const {
+  assert(Maybe && "stripMaybe on a non-maybe type");
+  Type Result = *this;
+  Result.Maybe = false;
+  return Result;
+}
+
+std::string fearless::toString(const Type &Ty, const Interner &Names) {
+  std::string Out;
+  switch (Ty.BaseKind) {
+  case Type::Base::Invalid:
+    Out = "<invalid>";
+    break;
+  case Type::Base::Unit:
+    Out = "unit";
+    break;
+  case Type::Base::Int:
+    Out = "int";
+    break;
+  case Type::Base::Bool:
+    Out = "bool";
+    break;
+  case Type::Base::Struct:
+    Out = Names.spelling(Ty.StructName);
+    break;
+  }
+  if (Ty.Maybe)
+    Out += '?';
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- ast/Types.h - Surface-language types --------------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type grammar of the surface language: unit, int, bool, named struct
+/// types, and "maybe" types written `T?`. Maybe wraps a base type exactly
+/// once (the paper's examples never nest `?`, and sema rejects nesting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_AST_TYPES_H
+#define FEARLESS_AST_TYPES_H
+
+#include "support/Interner.h"
+
+#include <string>
+
+namespace fearless {
+
+/// A surface-language type. Structs are referenced by interned name;
+/// resolution to a StructDecl happens in sema.
+struct Type {
+  enum class Base { Invalid, Unit, Int, Bool, Struct };
+
+  Base BaseKind = Base::Invalid;
+  Symbol StructName; ///< Valid iff BaseKind == Base::Struct.
+  bool Maybe = false;
+
+  static Type invalid() { return Type{}; }
+  static Type unitTy() { return Type{Base::Unit, Symbol{}, false}; }
+  static Type intTy() { return Type{Base::Int, Symbol{}, false}; }
+  static Type boolTy() { return Type{Base::Bool, Symbol{}, false}; }
+  static Type structTy(Symbol Name) {
+    return Type{Base::Struct, Name, false};
+  }
+
+  bool isValid() const { return BaseKind != Base::Invalid; }
+  bool isStruct() const { return BaseKind == Base::Struct && !Maybe; }
+  bool isMaybe() const { return Maybe; }
+
+  /// True for types whose values are heap references and therefore carry a
+  /// region: struct and maybe-struct types. Primitives (and maybes of
+  /// primitives) are copied values without regions.
+  bool isRegionful() const { return BaseKind == Base::Struct; }
+
+  /// The type with the maybe layer added; requires !Maybe.
+  Type asMaybe() const;
+  /// The type with the maybe layer removed; requires Maybe.
+  Type stripMaybe() const;
+
+  bool operator==(const Type &) const = default;
+  auto operator<=>(const Type &) const = default;
+};
+
+/// Renders a type using \p Names for struct spellings, e.g. "sll_node?".
+std::string toString(const Type &Ty, const Interner &Names);
+
+} // namespace fearless
+
+#endif // FEARLESS_AST_TYPES_H

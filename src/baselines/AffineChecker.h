@@ -1,0 +1,47 @@
+//===- baselines/AffineChecker.h - Rust-like affine baseline ----*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A comparator checker modelling the affine *tree-of-objects* discipline
+/// of Rust-style ownership (§9.2, Table 1): every heap reference is an
+/// owning unique pointer, objects form a tree, and values move.
+///
+///  - Struct declarations may only hold owning (iso) references: a plain
+///    (aliasing) struct field has no safe encoding, so the circular
+///    doubly linked list of Fig. 1 is not representable (dll-repr ✗).
+///  - Each owning variable may be consumed at most once (moved into a
+///    field, sent, or passed to a consuming parameter); use-after-move is
+///    rejected. Field reads borrow, so sll remove_tail's traversal is
+///    accepted (sll ✓) — the Rust row of Table 1.
+///  - `if disconnected` does not exist.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_BASELINES_AFFINECHECKER_H
+#define FEARLESS_BASELINES_AFFINECHECKER_H
+
+#include "baselines/GlobalDomChecker.h" // BaselineResult
+#include "sema/StructTable.h"
+
+namespace fearless {
+
+/// Checks one struct declaration under the affine tree-of-objects rule.
+BaselineResult affineCheckStruct(const Program &P,
+                                 const StructTable &Structs,
+                                 const StructDecl &S);
+
+/// Checks one function body under affine move discipline.
+BaselineResult affineCheckFunction(const Program &P,
+                                   const StructTable &Structs,
+                                   const FnDecl &F);
+
+/// Checks a whole program (structs and functions).
+BaselineResult affineCheckProgram(const Program &P,
+                                  const StructTable &Structs);
+
+} // namespace fearless
+
+#endif // FEARLESS_BASELINES_AFFINECHECKER_H

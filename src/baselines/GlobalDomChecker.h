@@ -1,0 +1,58 @@
+//===- baselines/GlobalDomChecker.h - LaCasa-style baseline -----*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A comparator checker modelling the *global domination* discipline of
+/// LaCasa / extended Balloon types (§9.1, Table 1): iso (@unique) fields
+/// must dominate their reachable subgraphs at all times, and there is no
+/// focus mechanism to track temporary exceptions. Consequently:
+///
+///  - reading an iso field into a local alias is rejected — these systems
+///    require a destructive read or swap primitive instead, which our
+///    surface language deliberately lacks;
+///  - assigning an iso field from an existing variable is rejected (the
+///    variable would remain a second, domination-violating alias); only
+///    freshly produced values (new / recv / none / call results) may be
+///    stored;
+///  - `if disconnected` does not exist.
+///
+/// Arbitrary aliasing *within* plain fields is allowed, so the circular
+/// doubly linked list is representable (dll-repr ✓) but sll remove_tail's
+/// non-destructive traversal is not (sll ✗) — exactly LaCasa's row.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_BASELINES_GLOBALDOMCHECKER_H
+#define FEARLESS_BASELINES_GLOBALDOMCHECKER_H
+
+#include "ast/Ast.h"
+#include "sema/StructTable.h"
+
+namespace fearless {
+
+/// Outcome of a baseline check.
+struct BaselineResult {
+  bool Accepted = true;
+  std::vector<Diagnostic> Errors;
+};
+
+/// Checks one struct declaration under global domination.
+BaselineResult globalDomCheckStruct(const Program &P,
+                                    const StructTable &Structs,
+                                    const StructDecl &S);
+
+/// Checks one function body under global domination.
+BaselineResult globalDomCheckFunction(const Program &P,
+                                      const StructTable &Structs,
+                                      const FnDecl &F);
+
+/// Checks a whole program; stops at nothing (collects all errors).
+BaselineResult globalDomCheckProgram(const Program &P,
+                                     const StructTable &Structs);
+
+} // namespace fearless
+
+#endif // FEARLESS_BASELINES_GLOBALDOMCHECKER_H

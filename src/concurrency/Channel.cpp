@@ -1,0 +1,56 @@
+//===- concurrency/Channel.cpp --------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrency/Channel.h"
+
+using namespace fearless;
+
+void ValueChannel::send(Value V) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Queue.push_back(V);
+  }
+  CV.notify_one();
+}
+
+bool ValueChannel::recv(Value &Out) {
+  std::unique_lock<std::mutex> Lock(M);
+  CV.wait(Lock, [&] { return !Queue.empty() || Closed; });
+  if (Queue.empty())
+    return false;
+  Out = Queue.front();
+  Queue.pop_front();
+  return true;
+}
+
+void ValueChannel::close() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Closed = true;
+  }
+  CV.notify_all();
+}
+
+size_t ValueChannel::sizeApprox() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Queue.size();
+}
+
+ValueChannel &ChannelSet::channelFor(const Type &Ty) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto &Slot = Channels[Ty];
+  if (!Slot)
+    Slot = std::make_unique<ValueChannel>();
+  return *Slot;
+}
+
+void ChannelSet::closeAll() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[Ty, Chan] : Channels) {
+    (void)Ty;
+    Chan->close();
+  }
+}

@@ -1,0 +1,64 @@
+//===- concurrency/Channel.h - Typed blocking channels ----------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Real (OS-thread) blocking channels used by the parallel executor: one
+/// MPMC queue per static type τ, realizing send-τ / recv-τ. Because the
+/// type system guarantees reservation safety, the transferred object
+/// graphs need no synchronization — only the channel itself is locked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_CONCURRENCY_CHANNEL_H
+#define FEARLESS_CONCURRENCY_CHANNEL_H
+
+#include "ast/Types.h"
+#include "runtime/Value.h"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace fearless {
+
+/// A blocking multi-producer multi-consumer value queue.
+class ValueChannel {
+public:
+  /// Enqueues \p V; never blocks (unbounded).
+  void send(Value V);
+
+  /// Dequeues a value, blocking until one is available or the channel is
+  /// closed. Returns false when closed and drained.
+  bool recv(Value &Out);
+
+  /// Wakes all blocked receivers; subsequent recv on an empty queue
+  /// returns false.
+  void close();
+
+  size_t sizeApprox() const;
+
+private:
+  mutable std::mutex M;
+  std::condition_variable CV;
+  std::deque<Value> Queue;
+  bool Closed = false;
+};
+
+/// One channel per static type τ.
+class ChannelSet {
+public:
+  ValueChannel &channelFor(const Type &Ty);
+  void closeAll();
+
+private:
+  std::mutex M;
+  std::map<Type, std::unique_ptr<ValueChannel>> Channels;
+};
+
+} // namespace fearless
+
+#endif // FEARLESS_CONCURRENCY_CHANNEL_H

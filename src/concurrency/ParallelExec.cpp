@@ -1,0 +1,106 @@
+//===- concurrency/ParallelExec.cpp ---------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrency/ParallelExec.h"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+using namespace fearless;
+
+ParallelExec::ParallelExec(const CheckedProgram &Checked)
+    : Checked(Checked), TheHeap(Checked.Structs) {}
+
+void ParallelExec::spawn(Symbol FnName, std::vector<Value> Args) {
+  Entries.push_back(Entry{FnName, std::move(Args)});
+}
+
+Expected<std::vector<Value>> ParallelExec::run() {
+  struct Slot {
+    Value Result;
+    std::string Error;
+    uint64_t Steps = 0;
+  };
+  std::vector<Slot> Slots(Entries.size());
+  std::vector<std::thread> Workers;
+  std::atomic<bool> Abort{false};
+
+  // Per-thread stats: stepThread requires a stats sink; keep them local
+  // to each worker to avoid contention.
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    Workers.emplace_back([this, I, &Slots, &Abort] {
+      const Entry &E = Entries[I];
+      const FnDecl *Fn = Checked.Prog->findFunction(E.Fn);
+      assert(Fn && "spawning an unknown function");
+      assert(E.Args.size() == Fn->Params.size() && "spawn arity");
+
+      ThreadState T;
+      T.Id = static_cast<ThreadId>(I);
+      for (size_t A = 0; A < E.Args.size(); ++A)
+        T.Env.emplace_back(Fn->Params[A].Name, E.Args[A]);
+      T.ControlExpr = Fn->Body.get();
+
+      MachineStats Stats;
+      InterpServices Services;
+      Services.TheHeap = &TheHeap;
+      Services.Prog = Checked.Prog;
+      Services.Stats = &Stats;
+      Services.SendTypes = &Checked.SendTypes;
+      Services.CheckReservations = false; // erased: the checker proved them
+
+      while (!Abort.load(std::memory_order_relaxed)) {
+        StepOutcome Out = stepThread(T, Services);
+        if (Out == StepOutcome::Progress)
+          continue;
+        if (Out == StepOutcome::Finished) {
+          Slots[I].Result = T.Result;
+          break;
+        }
+        if (Out == StepOutcome::BlockedSend) {
+          Channels.channelFor(T.CommType).send(T.PendingSend);
+          T.PendingSend = Value();
+          T.ControlValue = Value::unitVal();
+          T.HasValue = true;
+          T.Status = ThreadStatus::Runnable;
+          continue;
+        }
+        if (Out == StepOutcome::BlockedRecv) {
+          Value Received;
+          if (!Channels.channelFor(T.CommType).recv(Received)) {
+            Slots[I].Error = "channel closed while receiving";
+            Abort.store(true, std::memory_order_relaxed);
+            break;
+          }
+          T.ControlValue = Received;
+          T.HasValue = true;
+          T.Status = ThreadStatus::Runnable;
+          continue;
+        }
+        // Stuck.
+        Slots[I].Error = T.Error;
+        Abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+      Slots[I].Steps = Stats.Steps;
+      if (Abort.load(std::memory_order_relaxed))
+        Channels.closeAll(); // unblock receivers
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  std::vector<Value> Results;
+  TotalSteps = 0;
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    if (!Slots[I].Error.empty())
+      return fail("parallel thread " + std::to_string(I) + ": " +
+                  Slots[I].Error);
+    Results.push_back(Slots[I].Result);
+    TotalSteps += Slots[I].Steps;
+  }
+  return Results;
+}

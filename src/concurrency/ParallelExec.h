@@ -1,0 +1,62 @@
+//===- concurrency/ParallelExec.h - Real-thread executor --------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "production" runtime: each language thread runs on its own OS
+/// thread over the shared heap, with the dynamic reservation checks
+/// *erased* (Theorems 6.1/6.2 make them redundant for checked programs)
+/// and send/recv realized by real blocking channels. Object accesses take
+/// no locks — that is fearless concurrency: the type system already
+/// guarantees threads touch disjoint parts of the heap.
+///
+/// Used by bench_concurrency (E7) and the message-passing example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_CONCURRENCY_PARALLELEXEC_H
+#define FEARLESS_CONCURRENCY_PARALLELEXEC_H
+
+#include "checker/Checker.h"
+#include "concurrency/Channel.h"
+#include "runtime/Heap.h"
+#include "runtime/Interp.h"
+#include "support/Expected.h"
+
+namespace fearless {
+
+/// Runs a set of entry functions on OS threads until all finish.
+class ParallelExec {
+public:
+  explicit ParallelExec(const CheckedProgram &Checked);
+
+  /// Registers a thread that will run \p FnName(\p Args).
+  void spawn(Symbol FnName, std::vector<Value> Args = {});
+
+  /// Launches all registered threads, joins them, and returns their
+  /// results (in spawn order). Send without a matching receiver is
+  /// buffered (asynchronous channels); recv blocks. A thread error
+  /// cancels the run.
+  Expected<std::vector<Value>> run();
+
+  Heap &heap() { return TheHeap; }
+  uint64_t totalSteps() const { return TotalSteps; }
+
+private:
+  struct Entry {
+    Symbol Fn;
+    std::vector<Value> Args;
+  };
+
+  const CheckedProgram &Checked;
+  Heap TheHeap;
+  ChannelSet Channels;
+  std::vector<Entry> Entries;
+  uint64_t TotalSteps = 0;
+};
+
+} // namespace fearless
+
+#endif // FEARLESS_CONCURRENCY_PARALLELEXEC_H

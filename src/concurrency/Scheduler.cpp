@@ -1,0 +1,31 @@
+//===- concurrency/Scheduler.cpp ------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrency/Scheduler.h"
+
+using namespace fearless;
+
+Expected<ScheduleReport> fearless::exploreSchedules(
+    const std::function<std::unique_ptr<Machine>()> &Factory,
+    size_t NumSeeds,
+    const std::function<std::optional<std::string>(
+        const Machine &, const MachineSummary &)> &Validate) {
+  ScheduleReport Report;
+  for (size_t Seed = 0; Seed < NumSeeds; ++Seed) {
+    std::unique_ptr<Machine> M = Factory();
+    Expected<MachineSummary> Summary = M->run(Seed);
+    if (!Summary)
+      return fail("schedule seed " + std::to_string(Seed) + ": " +
+                  Summary.error().Message);
+    if (Validate) {
+      if (auto Problem = Validate(*M, *Summary))
+        return fail("schedule seed " + std::to_string(Seed) +
+                    " violated a property: " + *Problem);
+    }
+    ++Report.RunsExecuted;
+  }
+  return Report;
+}

@@ -1,0 +1,43 @@
+//===- concurrency/Scheduler.h - Schedule exploration -----------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic schedule exploration over the abstract machine: runs a
+/// freshly built concurrent configuration under many seeded interleavings
+/// and validates a per-run property. Used by the property tests to show
+/// that well-typed programs are reservation-safe under *every* explored
+/// interleaving (and that results are schedule-independent where they
+/// should be).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_CONCURRENCY_SCHEDULER_H
+#define FEARLESS_CONCURRENCY_SCHEDULER_H
+
+#include "runtime/Machine.h"
+
+#include <functional>
+#include <memory>
+
+namespace fearless {
+
+struct ScheduleReport {
+  size_t RunsExecuted = 0;
+};
+
+/// Builds a fresh machine with \p Factory for each of \p NumSeeds seeds
+/// (seed 0 = round robin, then 1..NumSeeds-1), runs it, and applies
+/// \p Validate to the finished machine. Any run failure or validation
+/// message aborts exploration.
+Expected<ScheduleReport> exploreSchedules(
+    const std::function<std::unique_ptr<Machine>()> &Factory,
+    size_t NumSeeds,
+    const std::function<std::optional<std::string>(
+        const Machine &, const MachineSummary &)> &Validate);
+
+} // namespace fearless
+
+#endif // FEARLESS_CONCURRENCY_SCHEDULER_H

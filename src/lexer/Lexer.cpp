@@ -1,0 +1,335 @@
+//===- lexer/Lexer.cpp ----------------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace fearless;
+
+const char *fearless::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwDef:
+    return "'def'";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwSome:
+    return "'some'";
+  case TokenKind::KwNone:
+    return "'none'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDisconnected:
+    return "'disconnected'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwIso:
+    return "'iso'";
+  case TokenKind::KwUnit:
+    return "'unit'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwIsNone:
+    return "'is_none'";
+  case TokenKind::KwSend:
+    return "'send'";
+  case TokenKind::KwRecv:
+    return "'recv'";
+  case TokenKind::KwConsumes:
+    return "'consumes'";
+  case TokenKind::KwPinned:
+    return "'pinned'";
+  case TokenKind::KwAfter:
+    return "'after'";
+  case TokenKind::KwBefore:
+    return "'before'";
+  case TokenKind::KwResult:
+    return "'result'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string_view, TokenKind> Table = {
+      {"struct", TokenKind::KwStruct},
+      {"def", TokenKind::KwDef},
+      {"let", TokenKind::KwLet},
+      {"some", TokenKind::KwSome},
+      {"none", TokenKind::KwNone},
+      {"in", TokenKind::KwIn},
+      {"else", TokenKind::KwElse},
+      {"if", TokenKind::KwIf},
+      {"while", TokenKind::KwWhile},
+      {"disconnected", TokenKind::KwDisconnected},
+      {"new", TokenKind::KwNew},
+      {"iso", TokenKind::KwIso},
+      {"unit", TokenKind::KwUnit},
+      {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"is_none", TokenKind::KwIsNone},
+      {"send", TokenKind::KwSend},
+      {"recv", TokenKind::KwRecv},
+      {"consumes", TokenKind::KwConsumes},
+      {"pinned", TokenKind::KwPinned},
+      {"after", TokenKind::KwAfter},
+      {"before", TokenKind::KwBefore},
+      {"result", TokenKind::KwResult},
+  };
+  return Table;
+}
+
+/// Streaming lexer over one source buffer.
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    for (;;) {
+      Token Tok = next();
+      Tokens.push_back(Tok);
+      if (Tok.is(TokenKind::EndOfFile))
+        break;
+    }
+    return Tokens;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek() const { return atEnd() ? '\0' : Source[Pos]; }
+  char peekAhead() const {
+    return Pos + 1 < Source.size() ? Source[Pos + 1] : '\0';
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    for (;;) {
+      if (atEnd())
+        return;
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peekAhead() == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokenKind Kind, size_t Start, SourceLoc Loc) {
+    return Token{Kind, Source.substr(Start, Pos - Start), 0, Loc};
+  }
+
+  Token next() {
+    skipTrivia();
+    SourceLoc Loc{Line, Column};
+    if (atEnd())
+      return Token{TokenKind::EndOfFile, {}, 0, Loc};
+
+    size_t Start = Pos;
+    char C = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+        advance();
+      std::string_view Text = Source.substr(Start, Pos - Start);
+      auto It = keywordTable().find(Text);
+      TokenKind Kind =
+          It != keywordTable().end() ? It->second : TokenKind::Identifier;
+      return Token{Kind, Text, 0, Loc};
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+      Token Tok = make(TokenKind::IntLiteral, Start, Loc);
+      int64_t Value = 0;
+      for (char Digit : Tok.Text) {
+        if (Value > (INT64_MAX - (Digit - '0')) / 10) {
+          Diags.error("integer literal overflows 64 bits", Loc);
+          return Token{TokenKind::Error, Tok.Text, 0, Loc};
+        }
+        Value = Value * 10 + (Digit - '0');
+      }
+      Tok.IntValue = Value;
+      return Tok;
+    }
+
+    auto Single = [&](TokenKind Kind) { return make(Kind, Start, Loc); };
+    auto Pair = [&](char Second, TokenKind Long, TokenKind Short) {
+      if (peek() == Second) {
+        advance();
+        return make(Long, Start, Loc);
+      }
+      return make(Short, Start, Loc);
+    };
+
+    switch (C) {
+    case '{':
+      return Single(TokenKind::LBrace);
+    case '}':
+      return Single(TokenKind::RBrace);
+    case '(':
+      return Single(TokenKind::LParen);
+    case ')':
+      return Single(TokenKind::RParen);
+    case ';':
+      return Single(TokenKind::Semicolon);
+    case ':':
+      return Single(TokenKind::Colon);
+    case ',':
+      return Single(TokenKind::Comma);
+    case '.':
+      return Single(TokenKind::Dot);
+    case '?':
+      return Single(TokenKind::Question);
+    case '~':
+      return Single(TokenKind::Tilde);
+    case '+':
+      return Single(TokenKind::Plus);
+    case '-':
+      return Single(TokenKind::Minus);
+    case '*':
+      return Single(TokenKind::Star);
+    case '/':
+      return Single(TokenKind::Slash);
+    case '%':
+      return Single(TokenKind::Percent);
+    case '=':
+      return Pair('=', TokenKind::EqEq, TokenKind::Assign);
+    case '!':
+      return Pair('=', TokenKind::NotEq, TokenKind::Bang);
+    case '<':
+      return Pair('=', TokenKind::LessEq, TokenKind::Less);
+    case '>':
+      return Pair('=', TokenKind::GreaterEq, TokenKind::Greater);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokenKind::AmpAmp, Start, Loc);
+      }
+      break;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokenKind::PipePipe, Start, Loc);
+      }
+      break;
+    default:
+      break;
+    }
+
+    Diags.error(std::string("unexpected character '") + C + "'", Loc);
+    return make(TokenKind::Error, Start, Loc);
+  }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace
+
+std::vector<Token> fearless::lex(std::string_view Source,
+                                 DiagnosticEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

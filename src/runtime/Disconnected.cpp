@@ -1,0 +1,131 @@
+//===- runtime/Disconnected.cpp -------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Disconnected.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace fearless;
+
+namespace {
+
+/// One side of the interleaved traversal over non-iso references.
+struct Side {
+  std::deque<Loc> Frontier;
+  /// Visited objects with the number of times each was *encountered via
+  /// an edge* during this side's traversal (roots start at zero).
+  std::unordered_map<uint32_t, uint32_t> Encounters;
+  bool Exhausted = false;
+
+  explicit Side(Loc Root) {
+    Frontier.push_back(Root);
+    Encounters.emplace(Root.Index, 0);
+  }
+};
+
+} // namespace
+
+DisconnectOutcome fearless::checkDisconnectedRefCount(const Heap &H, Loc A,
+                                                      Loc B) {
+  DisconnectOutcome Out;
+  if (!A.isValid() || !B.isValid())
+    return Out;
+  if (A == B)
+    return Out; // trivially intersecting
+
+  Side SideA(A);
+  Side SideB(B);
+
+  // Expand one object from each side alternately until one side's
+  // traversal completes or the frontiers intersect.
+  auto Expand = [&](Side &Self, Side &Other) -> bool /*intersected*/ {
+    if (Self.Frontier.empty()) {
+      Self.Exhausted = true;
+      return false;
+    }
+    Loc L = Self.Frontier.front();
+    Self.Frontier.pop_front();
+    ++Out.ObjectsVisited;
+    const Object &O = H.get(L);
+    for (const FieldInfo &F : O.Struct->Fields) {
+      if (F.Iso)
+        continue; // iso references leave the region; never the first
+                  // intersection point under tempered domination
+      const Value &V = O.Fields[F.Index];
+      if (!V.isLoc())
+        continue;
+      ++Out.EdgesTraversed;
+      Loc T = V.asLoc();
+      if (Other.Encounters.count(T.Index))
+        return true; // physical intersection
+      auto [It, Inserted] = Self.Encounters.emplace(T.Index, 0);
+      ++It->second;
+      if (Inserted)
+        Self.Frontier.push_back(T);
+    }
+    return false;
+  };
+
+  Side *Finished = nullptr;
+  while (!Finished) {
+    if (Expand(SideA, SideB))
+      return Out; // connected
+    if (SideA.Exhausted) {
+      Finished = &SideA;
+      break;
+    }
+    if (Expand(SideB, SideA))
+      return Out; // connected
+    if (SideB.Exhausted)
+      Finished = &SideB;
+  }
+
+  // The finished (smaller) side is fully explored. Compare its traversal
+  // counts with the stored counts: any unexplored non-iso reference into
+  // this subgraph would make a stored count exceed the traversal count.
+  for (const auto &[Index, Count] : Finished->Encounters) {
+    if (H.get(Loc{Index}).StoredRefCount != Count)
+      return Out; // conservatively connected
+  }
+  Out.Disconnected = true;
+  return Out;
+}
+
+DisconnectOutcome fearless::checkDisconnectedNaive(const Heap &H, Loc A,
+                                                   Loc B) {
+  DisconnectOutcome Out;
+  if (!A.isValid() || !B.isValid())
+    return Out;
+
+  auto Reach = [&](Loc Root) {
+    std::unordered_set<uint32_t> Seen{Root.Index};
+    std::deque<Loc> Worklist{Root};
+    while (!Worklist.empty()) {
+      Loc L = Worklist.front();
+      Worklist.pop_front();
+      ++Out.ObjectsVisited;
+      const Object &O = H.get(L);
+      for (const Value &V : O.Fields) {
+        if (!V.isLoc())
+          continue;
+        ++Out.EdgesTraversed;
+        if (Seen.insert(V.asLoc().Index).second)
+          Worklist.push_back(V.asLoc());
+      }
+    }
+    return Seen;
+  };
+
+  std::unordered_set<uint32_t> ReachA = Reach(A);
+  std::unordered_set<uint32_t> ReachB = Reach(B);
+  for (uint32_t Index : ReachB)
+    if (ReachA.count(Index))
+      return Out;
+  Out.Disconnected = true;
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- runtime/Disconnected.h - `if disconnected` checks --------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two implementations of the `if disconnected` run-time check:
+///
+///  - checkDisconnectedRefCount — the efficient §5.2 algorithm:
+///    interleaved traversals over the non-iso reference relation from both
+///    roots, stopping when the smaller side is fully explored (or the
+///    frontiers intersect), then comparing the traversal reference counts
+///    with the stored reference counts. Counts match ⇒ no unexplored
+///    non-iso reference enters the smaller subgraph ⇒ disconnected.
+///    A mismatch is *conservatively* treated as connected.
+///
+///  - checkDisconnectedNaive — exact full reachability intersection over
+///    all fields (the specification of rules E15A/E15B). Used by tests to
+///    cross-validate the efficient check and by benchmarks as the
+///    baseline.
+///
+/// Under tempered domination (empty tracking context at the check, which
+/// the type system guarantees), untracked iso fields dominate their
+/// targets, so no iso edge can be the first point of intersection: the
+/// non-iso-only refcount check is exact, not just sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_RUNTIME_DISCONNECTED_H
+#define FEARLESS_RUNTIME_DISCONNECTED_H
+
+#include "runtime/Heap.h"
+
+namespace fearless {
+
+/// Outcome of a disconnection check, with work accounting for benchmarks.
+struct DisconnectOutcome {
+  bool Disconnected = false;
+  size_t ObjectsVisited = 0; ///< Objects expanded by the traversal(s).
+  size_t EdgesTraversed = 0;
+};
+
+/// The efficient §5.2 check.
+DisconnectOutcome checkDisconnectedRefCount(const Heap &H, Loc A, Loc B);
+
+/// The exact full-traversal specification (E15A/E15B).
+DisconnectOutcome checkDisconnectedNaive(const Heap &H, Loc A, Loc B);
+
+} // namespace fearless
+
+#endif // FEARLESS_RUNTIME_DISCONNECTED_H

@@ -1,0 +1,112 @@
+//===- runtime/Heap.cpp ---------------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace fearless;
+
+Heap::Heap(const StructTable &Structs, size_t MaxObjects)
+    : Structs(Structs) {
+  size_t NumBlocks = (MaxObjects + BlockSize - 1) / BlockSize;
+  BlockStorage.resize(NumBlocks);
+  Blocks = BlockStorage.data();
+}
+
+Loc Heap::allocate(Symbol StructName) {
+  const StructInfo *Info = Structs.lookup(StructName);
+  assert(Info && "allocating an unknown struct");
+
+  uint32_t Index;
+  {
+    std::lock_guard<std::mutex> Lock(AllocMutex);
+    Index = Count.load(std::memory_order_relaxed);
+    uint32_t Block = Index >> BlockShift;
+    assert(Block < BlockStorage.size() && "heap exhausted");
+    if (!BlockStorage[Block])
+      BlockStorage[Block] = std::make_unique<Object[]>(BlockSize);
+
+    Object &O = BlockStorage[Block][Index & (BlockSize - 1)];
+    O.Struct = Info;
+    O.Fields.assign(Info->Fields.size(), Value());
+    O.StoredRefCount = 0;
+    Loc Self{Index};
+    for (const FieldInfo &F : Info->Fields) {
+      Value &Slot = O.Fields[F.Index];
+      if (F.FieldType.isMaybe()) {
+        Slot = Value::noneVal();
+      } else if (F.FieldType.BaseKind == Type::Base::Int) {
+        Slot = Value::intVal(0);
+      } else if (F.FieldType.BaseKind == Type::Base::Bool) {
+        Slot = Value::boolVal(false);
+      } else if (F.FieldType.BaseKind == Type::Base::Unit) {
+        Slot = Value::unitVal();
+      } else if (!F.Iso && F.FieldType.StructName == StructName) {
+        // Non-maybe same-struct field: self-reference.
+        Slot = Value::locVal(Self);
+        ++O.StoredRefCount; // self-references are non-iso heap refs
+      } else {
+        // No default exists; the checker guarantees an initializer is
+        // stored before this placeholder can be observed.
+        Slot = Value::noneVal();
+      }
+    }
+    Count.store(Index + 1, std::memory_order_release);
+  }
+  return Loc{Index};
+}
+
+void Heap::setField(Loc L, uint32_t FieldIndex, const Value &V) {
+  Object &O = get(L);
+  assert(FieldIndex < O.Fields.size() && "bad field index");
+  bool Iso = O.Struct->Fields[FieldIndex].Iso;
+  if (!Iso) {
+    const Value &Old = O.Fields[FieldIndex];
+    if (Old.isLoc()) {
+      Object &OldTarget = get(Old.asLoc());
+      assert(OldTarget.StoredRefCount > 0 && "refcount underflow");
+      --OldTarget.StoredRefCount;
+    }
+    if (V.isLoc())
+      ++get(V.asLoc()).StoredRefCount;
+  }
+  O.Fields[FieldIndex] = V;
+}
+
+std::vector<Loc> Heap::liveSet(Loc Root) const {
+  std::vector<Loc> Out;
+  if (!Root.isValid())
+    return Out;
+  std::unordered_set<uint32_t> Seen;
+  std::deque<Loc> Worklist{Root};
+  Seen.insert(Root.Index);
+  while (!Worklist.empty()) {
+    Loc L = Worklist.front();
+    Worklist.pop_front();
+    Out.push_back(L);
+    const Object &O = get(L);
+    for (const Value &V : O.Fields) {
+      if (!V.isLoc())
+        continue;
+      if (Seen.insert(V.asLoc().Index).second)
+        Worklist.push_back(V.asLoc());
+    }
+  }
+  return Out;
+}
+
+std::vector<uint32_t> Heap::recomputeRefCounts() const {
+  std::vector<uint32_t> Counts(size(), 0);
+  for (uint32_t Index = 0; Index < Counts.size(); ++Index) {
+    const Object &O = get(Loc{Index});
+    for (const FieldInfo &F : O.Struct->Fields)
+      if (!F.Iso && O.Fields[F.Index].isLoc())
+        ++Counts[O.Fields[F.Index].asLoc().Index];
+  }
+  return Counts;
+}

@@ -1,0 +1,108 @@
+//===- runtime/Heap.h - The shared object heap ------------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The store h of the small-step semantics: a table of struct objects with
+/// field slots. The heap additionally maintains the *stored reference
+/// counts* of §5.2: per object, the number of immediate heap references
+/// held in non-iso fields. The count is updated only on field assignment
+/// (never on variable binds, calls, or sends), making it far cheaper than
+/// a conventional reference count; `if disconnected` compares it against a
+/// traversal count to decide disconnection without exploring the larger
+/// side.
+///
+/// Storage is chunked with a pre-reserved block directory so object
+/// references stay stable under concurrent allocation: the parallel
+/// executor lets threads touch disjoint reservations without locks
+/// (that is the point of fearless concurrency); only allocation takes a
+/// mutex.
+///
+/// Regions do not exist at run time: a runtime "region" is a connected
+/// component of the non-iso reference relation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_RUNTIME_HEAP_H
+#define FEARLESS_RUNTIME_HEAP_H
+
+#include "runtime/Value.h"
+#include "sema/StructTable.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace fearless {
+
+/// One allocated struct instance.
+struct Object {
+  const StructInfo *Struct = nullptr;
+  std::vector<Value> Fields;
+  /// Number of non-iso heap fields (anywhere) currently referencing this
+  /// object (§5.2). Maintained by Heap::setField.
+  uint32_t StoredRefCount = 0;
+};
+
+/// The shared store.
+class Heap {
+public:
+  explicit Heap(const StructTable &Structs,
+                size_t MaxObjects = size_t(1) << 26);
+
+  /// Allocates an instance of \p StructName with default field values:
+  /// maybe fields none, primitives zero/false/unit, and non-maybe non-iso
+  /// same-struct fields a self-reference (the size-1 circular list shape
+  /// of Fig. 3). Thread-safe.
+  Loc allocate(Symbol StructName);
+
+  Object &get(Loc L) {
+    assert(L.isValid() && L.Index < size() && "bad location");
+    return Blocks[L.Index >> BlockShift][L.Index & (BlockSize - 1)];
+  }
+  const Object &get(Loc L) const {
+    assert(L.isValid() && L.Index < size() && "bad location");
+    return Blocks[L.Index >> BlockShift][L.Index & (BlockSize - 1)];
+  }
+
+  /// Writes field \p FieldIndex of \p L, maintaining stored reference
+  /// counts for non-iso location fields.
+  void setField(Loc L, uint32_t FieldIndex, const Value &V);
+
+  /// Reads a field.
+  const Value &getField(Loc L, uint32_t FieldIndex) const {
+    const Object &O = get(L);
+    assert(FieldIndex < O.Fields.size() && "bad field index");
+    return O.Fields[FieldIndex];
+  }
+
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+  const StructTable &structs() const { return Structs; }
+
+  /// Collects every location reachable from \p Root following *all*
+  /// fields (the live-set of Fig. 15, used by send).
+  std::vector<Loc> liveSet(Loc Root) const;
+
+  /// Recomputes the stored reference count of every object from scratch;
+  /// used by the invariant validators.
+  std::vector<uint32_t> recomputeRefCounts() const;
+
+private:
+  static constexpr uint32_t BlockShift = 12;
+  static constexpr uint32_t BlockSize = 1u << BlockShift;
+
+  const StructTable &Structs;
+  /// Block directory; sized up-front so the pointer array never moves.
+  std::vector<std::unique_ptr<Object[]>> BlockStorage;
+  std::unique_ptr<Object[]> *Blocks = nullptr;
+  std::atomic<uint32_t> Count{0};
+  std::mutex AllocMutex;
+};
+
+} // namespace fearless
+
+#endif // FEARLESS_RUNTIME_HEAP_H

@@ -1,0 +1,179 @@
+//===- runtime/Interp.h - Small-step thread interpreter ---------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-thread small-step machine of §3.2: an explicit-continuation
+/// (CEK-style) evaluator whose configuration is (d, h, s, e) — the
+/// reservation d, the shared store h, the stack s, and the control e.
+/// Every variable and field access consults the reservation when checks
+/// are enabled; a failed check is the paper's "stuck" state and surfaces
+/// as a runtime error. Theorems 6.1/6.2 guarantee well-typed programs
+/// never trigger it, which is why the checks are erasable (benchmarked in
+/// bench_runtime).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_RUNTIME_INTERP_H
+#define FEARLESS_RUNTIME_INTERP_H
+
+#include "ast/Ast.h"
+#include "runtime/Heap.h"
+#include "runtime/Value.h"
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+namespace fearless {
+
+using ThreadId = uint32_t;
+
+/// Continuation frames.
+namespace frames {
+struct LetBody {
+  Symbol Name;
+  const Expr *Body;
+};
+struct PopVar {
+  Symbol Name;
+};
+struct AssignVar {
+  Symbol Name;
+};
+struct FieldRead {
+  Symbol Field;
+};
+struct FieldWriteBase {
+  const Expr *ValueExpr;
+  Symbol Field;
+};
+struct FieldWriteVal {
+  Loc Base;
+  Symbol Field;
+};
+struct Seq {
+  const SeqExpr *S;
+  size_t Next;
+};
+struct IfCond {
+  const Expr *Then;
+  const Expr *Else; ///< Null: statement form (result discarded).
+};
+struct DiscardToUnit {};
+struct WhileCond {
+  const WhileExpr *W;
+};
+struct WhileBody {
+  const WhileExpr *W;
+};
+struct CallArgs {
+  const CallExpr *C;
+  std::vector<Value> Done;
+};
+struct Return {
+  size_t EnvMark;
+  size_t FrameBaseMark;
+};
+struct IsNone {};
+struct Send {
+  const SendExpr *E;
+};
+struct LetSome {
+  const LetSomeExpr *L;
+};
+struct NewArgs {
+  const NewExpr *N;
+  std::vector<Value> Done;
+};
+struct BinL {
+  const BinaryExpr *B;
+};
+struct BinR {
+  const BinaryExpr *B;
+  Value Lhs;
+};
+struct Un {
+  const UnaryExpr *U;
+};
+} // namespace frames
+
+using Frame = std::variant<
+    frames::LetBody, frames::PopVar, frames::AssignVar, frames::FieldRead,
+    frames::FieldWriteBase, frames::FieldWriteVal, frames::Seq,
+    frames::IfCond, frames::DiscardToUnit, frames::WhileCond,
+    frames::WhileBody, frames::CallArgs, frames::Return, frames::IsNone,
+    frames::Send, frames::LetSome, frames::NewArgs, frames::BinL,
+    frames::BinR, frames::Un>;
+
+enum class ThreadStatus {
+  Runnable,
+  BlockedSend,
+  BlockedRecv,
+  Finished,
+  Failed,
+};
+
+/// One thread's configuration.
+struct ThreadState {
+  ThreadId Id = 0;
+
+  /// The stack s: name/value slots, with function-frame boundaries.
+  std::vector<std::pair<Symbol, Value>> Env;
+  std::vector<size_t> FrameBases{0};
+
+  std::vector<Frame> Konts;
+  const Expr *ControlExpr = nullptr;
+  Value ControlValue;
+  bool HasValue = false;
+
+  /// The reservation d (by object index).
+  std::unordered_set<uint32_t> Reservation;
+
+  ThreadStatus Status = ThreadStatus::Runnable;
+  Value Result;
+  std::string Error;
+
+  /// Blocking communication state.
+  Type CommType;
+  Value PendingSend;
+};
+
+/// Outcome of one small step.
+enum class StepOutcome { Progress, Finished, BlockedSend, BlockedRecv,
+                         Stuck };
+
+/// Counters shared by all threads of a machine.
+struct MachineStats {
+  uint64_t Steps = 0;
+  uint64_t ReservationChecks = 0;
+  uint64_t DisconnectChecks = 0;
+  uint64_t DisconnectObjectsVisited = 0;
+  uint64_t Sends = 0;
+  uint64_t Allocations = 0;
+};
+
+/// Services a stepping thread needs from its machine.
+struct InterpServices {
+  Heap *TheHeap = nullptr;
+  const Program *Prog = nullptr;
+  MachineStats *Stats = nullptr;
+  /// Static types of send operands (from the checker); used to pair
+  /// send-τ with recv-τ. May be null for unchecked programs, in which
+  /// case the type is derived from the runtime value.
+  const std::map<const Expr *, Type> *SendTypes = nullptr;
+  bool CheckReservations = true;
+  bool UseNaiveDisconnect = false;
+};
+
+/// Executes one small step of \p T. On StepOutcome::Stuck, T.Error holds
+/// the reason (a reservation violation or a genuine runtime fault).
+StepOutcome stepThread(ThreadState &T, const InterpServices &Services);
+
+} // namespace fearless
+
+#endif // FEARLESS_RUNTIME_INTERP_H

@@ -1,0 +1,55 @@
+//===- runtime/Invariants.h - Dynamic invariant validators ------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run-time validators for the invariants of §6, used by tests (including
+/// failure injection — hand-corrupted heaps must be caught):
+///
+///  - reservation disjointness (the concurrent soundness condition of §7),
+///  - reservation closure: everything a thread can reach from its stack
+///    lies in its reservation (invariant I1, reservation sufficiency),
+///  - stored-reference-count accuracy (§5.2),
+///  - iso domination: with an empty tracking context, every iso field
+///    dominates its reachable subgraph (the quiescent case of I2 /
+///    tempered domination).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_RUNTIME_INVARIANTS_H
+#define FEARLESS_RUNTIME_INVARIANTS_H
+
+#include "runtime/Machine.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fearless {
+
+/// No location belongs to two threads' reservations.
+std::optional<std::string> checkReservationsDisjoint(const Machine &M);
+
+/// Every location reachable from a thread's stack values is inside that
+/// thread's reservation (I1). Valid at thread start and at quiescent
+/// points; mid-run, stale stack bindings may legally point at transferred
+/// objects (I1 only constrains what well-typed expressions can *step
+/// to*, which the machine's per-access checks enforce).
+std::optional<std::string> checkReservationClosure(const Machine &M);
+
+/// Stored reference counts equal the recomputed ground truth (§5.2).
+std::optional<std::string> checkStoredRefCounts(const Heap &H);
+
+/// Every iso field reachable from \p Roots transitively dominates its
+/// reachable subgraph: removing the iso edge makes the whole target
+/// subgraph unreachable from the roots. Valid at quiescent points, where
+/// the static tracking context is empty (untracked iso fields must
+/// dominate — tempered domination / I2).
+std::optional<std::string>
+checkIsoDomination(const Heap &H, const std::vector<Loc> &Roots);
+
+} // namespace fearless
+
+#endif // FEARLESS_RUNTIME_INVARIANTS_H

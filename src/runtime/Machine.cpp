@@ -1,0 +1,216 @@
+//===- runtime/Machine.cpp ------------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Machine.h"
+
+#include <cassert>
+
+using namespace fearless;
+
+Machine::Machine(const CheckedProgram &Checked, MachineOptions Opts)
+    : Checked(Checked), Opts(Opts), TheHeap(Checked.Structs) {}
+
+ThreadId Machine::spawn(Symbol FnName, std::vector<Value> Args) {
+  ThreadId T = createThread();
+  startThread(T, FnName, std::move(Args));
+  return T;
+}
+
+ThreadId Machine::createThread() {
+  ThreadState T;
+  T.Id = static_cast<ThreadId>(Threads.size());
+  // Not started yet: treat as finished so run() ignores it if never
+  // started.
+  T.Status = ThreadStatus::Finished;
+  Threads.push_back(std::move(T));
+  return Threads.back().Id;
+}
+
+void Machine::startThread(ThreadId Id, Symbol FnName,
+                          std::vector<Value> Args) {
+  assert(Id < Threads.size() && "bad thread id");
+  const FnDecl *Fn = Checked.Prog->findFunction(FnName);
+  assert(Fn && "spawning an unknown function");
+  assert(Args.size() == Fn->Params.size() && "spawn arity mismatch");
+  ThreadState &T = Threads[Id];
+  for (size_t I = 0; I < Args.size(); ++I)
+    T.Env.emplace_back(Fn->Params[I].Name, Args[I]);
+  T.ControlExpr = Fn->Body.get();
+  T.HasValue = false;
+  T.Status = ThreadStatus::Runnable;
+}
+
+Loc Machine::hostAlloc(ThreadId T, Symbol StructName) {
+  assert(T < Threads.size() && "bad thread id");
+  Loc L = TheHeap.allocate(StructName);
+  Threads[T].Reservation.insert(L.Index);
+  ++Stats.Allocations;
+  return L;
+}
+
+void Machine::hostSetField(Loc L, Symbol Field, Value V) {
+  const Object &O = TheHeap.get(L);
+  const FieldInfo *Info = O.Struct->findField(Field);
+  assert(Info && "hostSetField: unknown field");
+  TheHeap.setField(L, Info->Index, V);
+}
+
+Value Machine::hostGetField(Loc L, Symbol Field) const {
+  const Object &O = TheHeap.get(L);
+  const FieldInfo *Info = O.Struct->findField(Field);
+  assert(Info && "hostGetField: unknown field");
+  return TheHeap.getField(L, Info->Index);
+}
+
+bool Machine::valueMatchesType(const Value &V, const Type &Ty) const {
+  switch (V.kind()) {
+  case Value::Kind::Unit:
+    return Ty.BaseKind == Type::Base::Unit;
+  case Value::Kind::Int:
+    return Ty.BaseKind == Type::Base::Int;
+  case Value::Kind::Bool:
+    return Ty.BaseKind == Type::Base::Bool;
+  case Value::Kind::None:
+    return Ty.isMaybe();
+  case Value::Kind::Location:
+    return Ty.isRegionful() &&
+           TheHeap.get(V.asLoc()).Struct->Name == Ty.StructName;
+  }
+  return false;
+}
+
+bool Machine::tryCommunicate(std::string &Error) {
+  for (ThreadState &Sender : Threads) {
+    if (Sender.Status != ThreadStatus::BlockedSend)
+      continue;
+    for (ThreadState &Receiver : Threads) {
+      if (Receiver.Status != ThreadStatus::BlockedRecv)
+        continue;
+      // send-τ pairs with recv-τ: exact static type match, with a
+      // defensive runtime-compatibility check.
+      if (!(Sender.CommType == Receiver.CommType))
+        continue;
+      if (Sender.PendingSend.isLoc() &&
+          !valueMatchesType(Sender.PendingSend, Receiver.CommType)) {
+        Error = "send/recv type confusion at runtime (checker bug)";
+        return false;
+      }
+
+      // EC3: transfer the live-set of the chosen root from the sender's
+      // reservation to the receiver's.
+      Value Sent = Sender.PendingSend;
+      if (Sent.isLoc()) {
+        std::vector<Loc> Live = TheHeap.liveSet(Sent.asLoc());
+        if (Opts.CheckReservations) {
+          for (Loc L : Live)
+            if (!Sender.Reservation.count(L.Index)) {
+              Error = "send: live-set of " + toString(Sent) +
+                      " is not contained in the sender's reservation "
+                      "(reservation violation in thread " +
+                      std::to_string(Sender.Id) + ")";
+              return false;
+            }
+        }
+        for (Loc L : Live) {
+          Sender.Reservation.erase(L.Index);
+          Receiver.Reservation.insert(L.Index);
+        }
+      }
+      ++Stats.Sends;
+
+      // Sender resumes with unit; receiver resumes with the root.
+      Sender.ControlValue = Value::unitVal();
+      Sender.HasValue = true;
+      Sender.PendingSend = Value();
+      Sender.Status = ThreadStatus::Runnable;
+      Receiver.ControlValue = Sent;
+      Receiver.HasValue = true;
+      Receiver.Status = ThreadStatus::Runnable;
+      return true;
+    }
+  }
+  return false;
+}
+
+Expected<MachineSummary> Machine::run(uint64_t Seed) {
+  InterpServices Services;
+  Services.TheHeap = &TheHeap;
+  Services.Prog = Checked.Prog;
+  Services.Stats = &Stats;
+  Services.SendTypes = &Checked.SendTypes;
+  Services.CheckReservations = Opts.CheckReservations;
+  Services.UseNaiveDisconnect = Opts.UseNaiveDisconnect;
+
+  uint64_t Rng = Seed ? Seed : 0;
+  auto NextRandom = [&Rng]() {
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    return Rng;
+  };
+
+  uint64_t Steps = 0;
+  size_t RoundRobin = 0;
+  while (true) {
+    // Collect runnable threads.
+    std::vector<size_t> Runnable;
+    bool AllFinished = true;
+    for (size_t I = 0; I < Threads.size(); ++I) {
+      if (Threads[I].Status == ThreadStatus::Runnable)
+        Runnable.push_back(I);
+      if (Threads[I].Status != ThreadStatus::Finished)
+        AllFinished = false;
+    }
+    if (AllFinished)
+      break;
+    if (Runnable.empty()) {
+      // Try pairing communication; otherwise deadlock.
+      std::string Error;
+      if (tryCommunicate(Error))
+        continue;
+      if (!Error.empty())
+        return fail(Error);
+      return fail("deadlock: all unfinished threads are blocked on "
+                  "send/recv with no matching partner");
+    }
+
+    size_t Pick = Seed ? Runnable[NextRandom() % Runnable.size()]
+                       : Runnable[RoundRobin++ % Runnable.size()];
+    ThreadState &T = Threads[Pick];
+    StepOutcome Out = stepThread(T, Services);
+    ++Steps;
+    if (Opts.StepValidator) {
+      if (auto Problem = Opts.StepValidator(*this))
+        return fail("step validator failed after step " +
+                    std::to_string(Steps) + ": " + *Problem);
+    }
+    if (Steps > Opts.MaxSteps)
+      return fail("machine exceeded the step limit");
+    switch (Out) {
+    case StepOutcome::Progress:
+    case StepOutcome::Finished:
+      break;
+    case StepOutcome::BlockedSend:
+    case StepOutcome::BlockedRecv: {
+      std::string Error;
+      (void)tryCommunicate(Error);
+      if (!Error.empty())
+        return fail(Error);
+      break;
+    }
+    case StepOutcome::Stuck:
+      return fail("thread " + std::to_string(T.Id) + " is stuck: " +
+                  T.Error);
+    }
+  }
+
+  MachineSummary Summary;
+  Summary.Steps = Steps;
+  for (const ThreadState &T : Threads)
+    Summary.ThreadResults.push_back(T.Result);
+  Stats.Steps = Steps;
+  return Summary;
+}

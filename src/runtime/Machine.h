@@ -1,0 +1,124 @@
+//===- runtime/Machine.h - Concurrent configuration -------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent configuration of §7: one shared heap h and n threads,
+/// each with its own reservation d_i, stack s_i, and control e_i. The
+/// machine steps threads under a deterministic (optionally seeded)
+/// scheduler and pairs blocked send/recv threads per rule EC3: the sender
+/// chooses a root location, the live-set reachable from it must lie in
+/// the sender's reservation, and the whole set transfers to the receiver.
+///
+/// The machine also exposes a host API for building object graphs
+/// directly into a thread's reservation (tests and examples use it to
+/// call functions like remove_tail on pre-built lists).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_RUNTIME_MACHINE_H
+#define FEARLESS_RUNTIME_MACHINE_H
+
+#include "checker/Checker.h"
+#include "runtime/Heap.h"
+#include "runtime/Interp.h"
+#include "support/Expected.h"
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+namespace fearless {
+
+class Machine;
+
+/// Machine configuration.
+struct MachineOptions {
+  /// Dynamic reservation checks (§3.2). Erasable for well-typed programs;
+  /// bench_runtime measures exactly this toggle.
+  bool CheckReservations = true;
+  /// Use the naive exact `if disconnected` instead of the §5.2 refcount
+  /// algorithm (for cross-validation and the bench baseline).
+  bool UseNaiveDisconnect = false;
+  uint64_t MaxSteps = 500'000'000;
+  /// Soundness-testing hook: run after every small step; a returned
+  /// message aborts the run. Tests install the §6 invariant validators
+  /// here to check I1/I2-style properties at *every* intermediate state.
+  std::function<std::optional<std::string>(const Machine &)>
+      StepValidator;
+};
+
+/// Result of a completed run.
+struct MachineSummary {
+  std::vector<Value> ThreadResults;
+  uint64_t Steps = 0;
+};
+
+/// The concurrent abstract machine.
+class Machine {
+public:
+  /// \p Checked must outlive the machine. The program is expected to have
+  /// passed the checker; running unchecked programs is possible (tests use
+  /// it for failure injection) and surfaces violations as errors.
+  explicit Machine(const CheckedProgram &Checked, MachineOptions Opts = {});
+
+  /// Creates a thread that will run \p FnName(\p Args). Regionful
+  /// arguments must reference graphs previously built into this thread's
+  /// reservation via the host API.
+  ThreadId spawn(Symbol FnName, std::vector<Value> Args = {});
+
+  /// Two-phase spawn: create the thread first (so host allocation can
+  /// target its reservation), build graphs, then start it.
+  ThreadId createThread();
+  void startThread(ThreadId T, Symbol FnName, std::vector<Value> Args);
+
+  //===--------------------------------------------------------------------===
+  // Host-side graph construction (before run())
+  //===--------------------------------------------------------------------===
+
+  /// Allocates a default-initialized object into thread \p T's
+  /// reservation.
+  Loc hostAlloc(ThreadId T, Symbol StructName);
+  /// Writes a field by name (maintains stored reference counts).
+  void hostSetField(Loc L, Symbol Field, Value V);
+  /// Reads a field by name.
+  Value hostGetField(Loc L, Symbol Field) const;
+
+  //===--------------------------------------------------------------------===
+  // Execution
+  //===--------------------------------------------------------------------===
+
+  /// Runs until every thread finishes. \p Seed selects the interleaving:
+  /// 0 is round-robin; otherwise a seeded xorshift picks among runnable
+  /// threads. Fails on stuck threads (reservation violations / runtime
+  /// faults), deadlock, or step exhaustion.
+  Expected<MachineSummary> run(uint64_t Seed = 0);
+
+  Heap &heap() { return TheHeap; }
+  const Heap &heap() const { return TheHeap; }
+  const MachineStats &stats() const { return Stats; }
+  const std::vector<ThreadState> &threads() const { return Threads; }
+  bool inReservation(ThreadId T, Loc L) const {
+    return Threads[T].Reservation.count(L.Index) != 0;
+  }
+
+private:
+  /// Attempts to pair one blocked sender with a type-compatible blocked
+  /// receiver (EC3). Returns true if a transfer happened; the error slot
+  /// is set when the transfer itself is illegal.
+  bool tryCommunicate(std::string &Error);
+
+  bool valueMatchesType(const Value &V, const Type &Ty) const;
+
+  const CheckedProgram &Checked;
+  MachineOptions Opts;
+  Heap TheHeap;
+  MachineStats Stats;
+  std::vector<ThreadState> Threads;
+};
+
+} // namespace fearless
+
+#endif // FEARLESS_RUNTIME_MACHINE_H

@@ -1,0 +1,25 @@
+//===- runtime/Value.cpp --------------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Value.h"
+
+using namespace fearless;
+
+std::string fearless::toString(const Value &V) {
+  switch (V.kind()) {
+  case Value::Kind::Unit:
+    return "unit";
+  case Value::Kind::Int:
+    return std::to_string(V.asInt());
+  case Value::Kind::Bool:
+    return V.asBool() ? "true" : "false";
+  case Value::Kind::Location:
+    return "loc#" + std::to_string(V.asLoc().Index);
+  case Value::Kind::None:
+    return "none";
+  }
+  return "?";
+}

@@ -1,0 +1,86 @@
+//===- runtime/Value.h - Runtime values -------------------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values of the small-step semantics: unit, 64-bit integers,
+/// booleans, heap locations, and `none`. A `some(v)` is represented by v
+/// itself — maybe types never nest (enforced by sema), so the context
+/// always disambiguates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_RUNTIME_VALUE_H
+#define FEARLESS_RUNTIME_VALUE_H
+
+#include <cstdint>
+#include <string>
+
+namespace fearless {
+
+/// A heap location (index into the Heap's object table).
+struct Loc {
+  uint32_t Index = UINT32_MAX;
+
+  static Loc invalid() { return Loc{}; }
+  bool isValid() const { return Index != UINT32_MAX; }
+  bool operator==(const Loc &) const = default;
+  auto operator<=>(const Loc &) const = default;
+};
+
+/// A runtime value.
+class Value {
+public:
+  enum class Kind { Unit, Int, Bool, Location, None };
+
+  Value() : K(Kind::Unit) {}
+  static Value unitVal() { return Value(); }
+  static Value intVal(int64_t V) {
+    Value Out;
+    Out.K = Kind::Int;
+    Out.IntValue = V;
+    return Out;
+  }
+  static Value boolVal(bool V) {
+    Value Out;
+    Out.K = Kind::Bool;
+    Out.BoolValue = V;
+    return Out;
+  }
+  static Value locVal(Loc L) {
+    Value Out;
+    Out.K = Kind::Location;
+    Out.LocValue = L;
+    return Out;
+  }
+  static Value noneVal() {
+    Value Out;
+    Out.K = Kind::None;
+    return Out;
+  }
+
+  Kind kind() const { return K; }
+  bool isLoc() const { return K == Kind::Location; }
+  bool isNone() const { return K == Kind::None; }
+
+  int64_t asInt() const { return IntValue; }
+  bool asBool() const { return BoolValue; }
+  Loc asLoc() const { return LocValue; }
+
+  bool operator==(const Value &) const = default;
+
+private:
+  Kind K;
+  int64_t IntValue = 0;
+  bool BoolValue = false;
+  Loc LocValue;
+};
+
+/// Renders a value for diagnostics, e.g. "loc#3", "42", "none".
+std::string toString(const Value &V);
+
+} // namespace fearless
+
+#endif // FEARLESS_RUNTIME_VALUE_H

@@ -1,0 +1,30 @@
+//===- sema/Resolver.h - Name and shape resolution --------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Early, region-free validation: variable scoping (no use of undeclared
+/// variables, no shadowing), call targets and arity, struct/field names in
+/// types, and annotation well-formedness. The region checker assumes a
+/// resolved program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_SEMA_RESOLVER_H
+#define FEARLESS_SEMA_RESOLVER_H
+
+#include "ast/Ast.h"
+#include "sema/StructTable.h"
+
+namespace fearless {
+
+/// Resolves \p P against \p Structs. Returns false (with diagnostics) on
+/// any error.
+bool resolveProgram(const Program &P, const StructTable &Structs,
+                    DiagnosticEngine &Diags);
+
+} // namespace fearless
+
+#endif // FEARLESS_SEMA_RESOLVER_H

@@ -1,0 +1,244 @@
+//===- sema/Signature.cpp -------------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Signature.h"
+
+#include <cassert>
+
+using namespace fearless;
+
+namespace {
+
+/// Helper resolving an `after:` path to the region it denotes within a
+/// signature under construction.
+class PathResolver {
+public:
+  PathResolver(FnSignature &Sig, const FnDecl &F, const Interner &Names,
+               RegionSupply &Supply)
+      : Sig(Sig), F(F), Names(Names), Supply(Supply) {}
+
+  /// Ensures `p` is focused and `p.f` tracked in both Input and Output,
+  /// creating the shared target region on first use. Returns the target
+  /// region of the path (the parameter's own region for bare paths).
+  Expected<RegionId> resolve(const AnnotPath &Path) {
+    if (Path.IsResult) {
+      ensureResultRegion();
+      return Sig.ResultRegion;
+    }
+    auto RegionIt = Sig.ParamRegion.find(Path.Base);
+    if (RegionIt == Sig.ParamRegion.end())
+      return fail("'after' path parameter '" + Names.spelling(Path.Base) +
+                      "' has no region (primitive type?)",
+                  Path.Loc);
+    RegionId ParamR = RegionIt->second;
+    if (!Path.Field.isValid())
+      return ParamR;
+    if (F.isPinned(Path.Base))
+      return fail("cannot track a field of pinned parameter '" +
+                      Names.spelling(Path.Base) + "'",
+                  Path.Loc);
+    // Focus the parameter and track the field in both contexts, sharing
+    // one target region id so input and output refer to the same region.
+    RegionId Target;
+    if (const VarTrack *Existing =
+            Sig.Input.Heap.trackedVar(ParamR, Path.Base)) {
+      auto FieldIt = Existing->Fields.find(Path.Field);
+      if (FieldIt != Existing->Fields.end())
+        Target = FieldIt->second;
+    }
+    if (!Target.isValid()) {
+      Target = Supply.fresh();
+      for (Contexts *Ctx : {&Sig.Input, &Sig.Output}) {
+        RegionTrack *Track = Ctx->Heap.lookup(ParamR);
+        assert(Track && "parameter region missing");
+        Track->Vars[Path.Base].Fields[Path.Field] = Target;
+        if (!Ctx->Heap.hasRegion(Target))
+          Ctx->Heap.addRegion(Target);
+      }
+    }
+    return Target;
+  }
+
+  void ensureResultRegion() {
+    if (Sig.ResultRegion.isValid())
+      return;
+    Sig.ResultRegion = Supply.fresh();
+    Sig.Output.Heap.addRegion(Sig.ResultRegion);
+  }
+
+private:
+  FnSignature &Sig;
+  const FnDecl &F;
+  const Interner &Names;
+  RegionSupply &Supply;
+};
+
+} // namespace
+
+Expected<FnSignature> fearless::elaborateSignature(const FnDecl &F,
+                                                   const StructTable &Structs,
+                                                   const Interner &Names,
+                                                   RegionSupply &Supply) {
+  (void)Structs;
+  FnSignature Sig;
+  Sig.Name = F.Name;
+  Sig.Decl = &F;
+  Sig.ReturnType = F.ReturnType;
+
+  // Parameters: fresh region each (regionful only), bound in both Γs.
+  for (const ParamDecl &Param : F.Params) {
+    RegionId R;
+    if (Param.ParamType.isRegionful()) {
+      R = Supply.fresh();
+      Sig.ParamRegion[Param.Name] = R;
+      Sig.Input.Heap.addRegion(R);
+      Sig.Output.Heap.addRegion(R);
+      if (F.isPinned(Param.Name)) {
+        Sig.Input.Heap.lookup(R)->Pinned = true;
+        Sig.Output.Heap.lookup(R)->Pinned = true;
+      }
+    }
+    VarBinding Binding{R, Param.ParamType};
+    Sig.Input.Vars.bind(Param.Name, Binding);
+    Sig.Output.Vars.bind(Param.Name, Binding);
+  }
+
+  PathResolver Resolver(Sig, F, Names, Supply);
+
+  // Before-relations: the denoted regions coincide already at the call.
+  // Merge them in *both* contexts (input sharing persists to the output
+  // unless an after-relation reshapes it further).
+  for (const AfterRelation &Rel : F.Befores) {
+    Expected<RegionId> Lhs = Resolver.resolve(Rel.Lhs);
+    if (!Lhs)
+      return Lhs.takeFailure();
+    Expected<RegionId> Rhs = Resolver.resolve(Rel.Rhs);
+    if (!Rhs)
+      return Rhs.takeFailure();
+    if (*Lhs == *Rhs)
+      continue;
+    for (Contexts *Ctx : {&Sig.Input, &Sig.Output}) {
+      if (!Ctx->Heap.canAttach(*Rhs, *Lhs))
+        return fail("'before' relation cannot merge the denoted regions",
+                    Rel.Lhs.Loc);
+      Ctx->Heap.attach(*Rhs, *Lhs);
+      Ctx->Vars.renameRegion(*Rhs, *Lhs);
+    }
+    for (auto &[Param, Region] : Sig.ParamRegion)
+      if (Region == *Rhs)
+        Region = *Lhs;
+  }
+
+  // After-relations: track mentioned fields, then merge denoted regions in
+  // the *output* context (input keeps them distinct; `a ~ b` speaks about
+  // the state after the call).
+  for (const AfterRelation &Rel : F.Afters) {
+    Expected<RegionId> Lhs = Resolver.resolve(Rel.Lhs);
+    if (!Lhs)
+      return Lhs.takeFailure();
+    Expected<RegionId> Rhs = Resolver.resolve(Rel.Rhs);
+    if (!Rhs)
+      return Rhs.takeFailure();
+    if (*Lhs == *Rhs)
+      continue;
+    // Merge Rhs into Lhs in the output only. Parameters' own regions must
+    // stay distinct at input, which they do by construction.
+    if (!Sig.Output.Heap.canAttach(*Rhs, *Lhs))
+      return fail("'after' relation cannot merge the denoted regions",
+                  Rel.Lhs.Loc);
+    Sig.Output.Heap.attach(*Rhs, *Lhs);
+    Sig.Output.Vars.renameRegion(*Rhs, *Lhs);
+    if (Sig.ResultRegion == *Rhs)
+      Sig.ResultRegion = *Lhs;
+  }
+
+  // Consumed parameters: their region disappears from the output H. Any
+  // tracked fields recorded for them would dangle, so forbid combining
+  // consumes with after-paths on the same parameter (resolver also checks).
+  for (Symbol C : F.Consumes) {
+    auto It = Sig.ParamRegion.find(C);
+    if (It == Sig.ParamRegion.end())
+      return fail("'consumes' parameter '" + Names.spelling(C) +
+                      "' has no region",
+                  F.Loc);
+    RegionId R = It->second;
+    const RegionTrack *Track = Sig.Output.Heap.lookup(R);
+    if (!Track)
+      return fail("parameter '" + Names.spelling(C) +
+                      "' consumed twice or merged away",
+                  F.Loc);
+    if (!Track->empty())
+      return fail("'consumes' parameter '" + Names.spelling(C) +
+                      "' may not also be focused by 'after' paths",
+                  F.Loc);
+    if (Sig.Output.Heap.isFieldTarget(R))
+      return fail("'consumes' parameter '" + Names.spelling(C) +
+                      "' is targeted by an 'after' tracked field",
+                  F.Loc);
+    Sig.Output.Heap.removeRegion(R);
+  }
+
+  // Result region: fresh and empty unless an after-relation placed it.
+  if (F.ReturnType.isRegionful())
+    Resolver.ensureResultRegion();
+
+  // OutputImage: every input region maps to the output region absorbing
+  // it. Output.Heap keys are the post-merge names, so chase each input
+  // region through Γ (parameters keep their bindings in the output Γ) or
+  // the merged tracking structure.
+  for (const auto &[Region, Track] : Sig.Input.Heap.entries()) {
+    (void)Track;
+    RegionId Image; // invalid: consumed
+    if (Sig.Output.Heap.hasRegion(Region)) {
+      Image = Region;
+    } else {
+      // Find where the region went via Γ or tracked-field targets.
+      for (const auto &[Var, Binding] : Sig.Input.Vars.entries()) {
+        if (Binding.Region != Region)
+          continue;
+        const VarBinding *OutBinding = Sig.Output.Vars.lookup(Var);
+        if (OutBinding && Sig.Output.Heap.hasRegion(OutBinding->Region))
+          Image = OutBinding->Region;
+        break;
+      }
+      if (!Image.isValid()) {
+        // Tracked-field target: locate the same (var, field) slot in the
+        // output context.
+        for (const auto &[InRegion, InTrack] : Sig.Input.Heap.entries()) {
+          (void)InRegion;
+          for (const auto &[Var, VTrack] : InTrack.Vars)
+            for (const auto &[Field, Target] : VTrack.Fields) {
+              if (Target != Region)
+                continue;
+              auto OutRegion = Sig.Output.Heap.trackingRegionOf(Var);
+              if (!OutRegion)
+                continue;
+              const VarTrack *OutTrack =
+                  Sig.Output.Heap.trackedVar(*OutRegion, Var);
+              auto It = OutTrack->Fields.find(Field);
+              if (It != OutTrack->Fields.end())
+                Image = It->second;
+            }
+        }
+      }
+    }
+    Sig.OutputImage[Region] = Image;
+  }
+
+  return Sig;
+}
+
+std::string fearless::toString(const FnSignature &Sig,
+                               const Interner &Names) {
+  std::string Out = "(" + toString(Sig.Input, Names) + ") => (";
+  Out += toString(Sig.Output, Names);
+  Out += " ; ";
+  if (Sig.ResultRegion.isValid())
+    Out += toString(Sig.ResultRegion) + " ";
+  Out += toString(Sig.ReturnType, Names);
+  Out += ")";
+  return Out;
+}

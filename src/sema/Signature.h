@@ -1,0 +1,76 @@
+//===- sema/Signature.h - Function type elaboration ------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Elaborates the usable function surface syntax of §4.9 into the function
+/// types of §4.8:  (H; Γ) ⇒ (H'; Γ'; r τ).
+///
+/// Defaults (no annotations):
+///  - each regionful parameter enters in its own fresh, unpinned region
+///    with an empty tracking context;
+///  - at output each parameter is back in that region, again unpinned and
+///    empty;
+///  - a regionful result is in its own fresh, unpinned, empty region.
+///
+/// Annotations:
+///  - `consumes p`  — p's region is absent from the output H (the callee
+///    keeps it: sent away, or retracted into another argument).
+///  - `pinned p`    — p's region is pinned in both input and output: the
+///    callee promises not to focus into it, merge it, or consume it, so
+///    the caller may frame away (and later restore) its tracking details.
+///  - `after: a ~ b` — the regions denoted by paths a and b coincide in
+///    the output. A path `p.f` additionally causes p to be focused with f
+///    tracked in both the input and output contexts, exposing the region
+///    structure to the caller (the get_nth_node example of Fig. 14).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_SEMA_SIGNATURE_H
+#define FEARLESS_SEMA_SIGNATURE_H
+
+#include "ast/Ast.h"
+#include "regions/Contexts.h"
+#include "sema/StructTable.h"
+#include "support/Expected.h"
+
+#include <map>
+
+namespace fearless {
+
+/// The elaborated function type. Region ids are private to the signature;
+/// call sites instantiate them against caller regions by matching anchors.
+struct FnSignature {
+  Symbol Name;
+  const FnDecl *Decl = nullptr;
+  Type ReturnType;
+
+  Contexts Input;  ///< H; Γ at entry — Γ binds exactly the parameters.
+  Contexts Output; ///< H'; Γ' at exit — same Γ domain.
+  RegionId ResultRegion; ///< Region of the result in Output (invalid for
+                         ///< primitive results).
+
+  /// The input region of each regionful parameter.
+  std::map<Symbol, RegionId> ParamRegion;
+
+  /// Maps every input region (parameter regions and tracked-field target
+  /// regions) to its region in the Output context: identity by default,
+  /// merged by `after:` relations, invalid when consumed.
+  std::map<RegionId, RegionId> OutputImage;
+};
+
+/// Elaborates \p F. \p Supply provides the signature's region names.
+Expected<FnSignature> elaborateSignature(const FnDecl &F,
+                                         const StructTable &Structs,
+                                         const Interner &Names,
+                                         RegionSupply &Supply);
+
+/// Renders the signature's full function type for diagnostics and docs,
+/// e.g. "(r1<l[hd -> r2]>, r2<> ; l : r1 dll) => (... ; r2 dll_node?)".
+std::string toString(const FnSignature &Sig, const Interner &Names);
+
+} // namespace fearless
+
+#endif // FEARLESS_SEMA_SIGNATURE_H

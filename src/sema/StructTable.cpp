@@ -1,0 +1,80 @@
+//===- sema/StructTable.cpp -----------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/StructTable.h"
+
+using namespace fearless;
+
+const FieldInfo *StructInfo::findField(Symbol FieldName) const {
+  for (const FieldInfo &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+bool StructInfo::fieldDefaultable(const FieldInfo &F) const {
+  if (F.FieldType.isMaybe() || !F.FieldType.isRegionful())
+    return true;
+  // Non-maybe struct field: only a non-iso self-reference has a default.
+  return !F.Iso && F.FieldType.StructName == Name;
+}
+
+std::vector<uint32_t> StructInfo::requiredFieldIndices() const {
+  std::vector<uint32_t> Out;
+  for (const FieldInfo &F : Fields)
+    if (!fieldDefaultable(F))
+      Out.push_back(F.Index);
+  return Out;
+}
+
+bool StructTable::build(const Program &P, DiagnosticEngine &Diags) {
+  bool Ok = true;
+  for (const StructDecl &S : P.Structs) {
+    if (Table.count(S.Name)) {
+      Diags.error("duplicate struct '" + P.Names.spelling(S.Name) + "'",
+                  S.Loc);
+      Ok = false;
+      continue;
+    }
+    StructInfo Info;
+    Info.Name = S.Name;
+    Info.Decl = &S;
+    uint32_t Index = 0;
+    for (const FieldDecl &F : S.Fields) {
+      if (Info.findField(F.Name)) {
+        Diags.error("duplicate field '" + P.Names.spelling(F.Name) +
+                        "' in struct '" + P.Names.spelling(S.Name) + "'",
+                    F.Loc);
+        Ok = false;
+        continue;
+      }
+      if (F.Iso && !F.FieldType.isRegionful()) {
+        Diags.error("iso field '" + P.Names.spelling(F.Name) +
+                        "' must have a struct (or maybe-struct) type",
+                    F.Loc);
+        Ok = false;
+      }
+      Info.Fields.push_back(FieldInfo{F.Name, F.FieldType, F.Iso, Index++});
+    }
+    Table.emplace(S.Name, std::move(Info));
+  }
+  // Second pass: field types must name declared structs.
+  for (const StructDecl &S : P.Structs)
+    for (const FieldDecl &F : S.Fields)
+      if (F.FieldType.isRegionful() && !Table.count(F.FieldType.StructName)) {
+        Diags.error("field '" + P.Names.spelling(F.Name) +
+                        "' has unknown struct type '" +
+                        P.Names.spelling(F.FieldType.StructName) + "'",
+                    F.Loc);
+        Ok = false;
+      }
+  return Ok;
+}
+
+const StructInfo *StructTable::lookup(Symbol Name) const {
+  auto It = Table.find(Name);
+  return It == Table.end() ? nullptr : &It->second;
+}

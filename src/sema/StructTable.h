@@ -1,0 +1,73 @@
+//===- sema/StructTable.h - Struct declarations index ----------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An index over struct declarations with field-layout queries used by the
+/// checker and the runtime, plus validation of the declarations themselves
+/// (duplicate names, unknown field types, constructability of `new S()`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_SEMA_STRUCTTABLE_H
+#define FEARLESS_SEMA_STRUCTTABLE_H
+
+#include "ast/Ast.h"
+#include "support/Expected.h"
+
+#include <map>
+#include <vector>
+
+namespace fearless {
+
+/// Dense per-struct field index used by the runtime object layout.
+struct FieldInfo {
+  Symbol Name;
+  Type FieldType;
+  bool Iso = false;
+  uint32_t Index = 0; ///< Slot in the runtime object.
+};
+
+/// Resolved information about one struct.
+struct StructInfo {
+  Symbol Name;
+  const StructDecl *Decl = nullptr;
+  std::vector<FieldInfo> Fields;
+
+  const FieldInfo *findField(Symbol FieldName) const;
+
+  /// True when \p F can be default-initialized: maybe fields to none,
+  /// primitives to 0/false/unit, and non-iso same-struct fields to a
+  /// self-reference (the size-1 circular shape of Fig. 3).
+  bool fieldDefaultable(const FieldInfo &F) const;
+
+  /// Field indices without defaults, in declaration order. `new S(args)`
+  /// accepts either one argument per field, or one per required field
+  /// (the rest defaulting), or none when this list is empty.
+  std::vector<uint32_t> requiredFieldIndices() const;
+
+  /// True when `new S()` (no arguments) is legal.
+  bool defaultConstructible() const {
+    return requiredFieldIndices().empty();
+  }
+};
+
+/// Index over all structs in a program.
+class StructTable {
+public:
+  /// Builds and validates the table. Reports problems to \p Diags and
+  /// returns false if any were errors.
+  bool build(const Program &P, DiagnosticEngine &Diags);
+
+  const StructInfo *lookup(Symbol Name) const;
+  const std::map<Symbol, StructInfo> &structs() const { return Table; }
+
+private:
+  std::map<Symbol, StructInfo> Table;
+};
+
+} // namespace fearless
+
+#endif // FEARLESS_SEMA_STRUCTTABLE_H

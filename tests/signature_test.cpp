@@ -1,0 +1,147 @@
+//===- tests/signature_test.cpp -------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// §4.8/§4.9: elaboration of the usable function syntax into full function
+// types (H; Γ) ⇒ (H'; Γ'; r τ): defaults, consumes, pinned, after, before.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "sema/Signature.h"
+#include "sema/StructTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace fearless;
+
+namespace {
+
+struct SignatureFixture : ::testing::Test {
+  std::optional<Program> P;
+  StructTable Structs;
+  RegionSupply Supply;
+
+  FnSignature elaborate(std::string_view Source, const char *FnName) {
+    DiagnosticEngine Diags;
+    P = parseProgram(Source, Diags);
+    EXPECT_TRUE(P.has_value()) << Diags.renderAll();
+    EXPECT_TRUE(Structs.build(*P, Diags)) << Diags.renderAll();
+    const FnDecl *F = P->findFunction(P->Names.intern(FnName));
+    EXPECT_NE(F, nullptr);
+    Expected<FnSignature> Sig =
+        elaborateSignature(*F, Structs, P->Names, Supply);
+    EXPECT_TRUE(Sig.hasValue())
+        << (Sig ? "" : Sig.error().render());
+    return Sig ? Sig.take() : FnSignature{};
+  }
+};
+
+constexpr const char *ListDecls = R"(
+struct data { value : int; }
+struct node { iso payload : data; iso next : node?; }
+)";
+
+TEST_F(SignatureFixture, DefaultsGiveDistinctEmptyRegions) {
+  FnSignature Sig = elaborate(
+      std::string(ListDecls) +
+          "def f(a, b : node, n : int) : node? { none }",
+      "f");
+  // Two regionful parameters: two distinct input regions, both empty and
+  // unpinned; the int parameter has none.
+  EXPECT_EQ(Sig.ParamRegion.size(), 2u);
+  EXPECT_EQ(Sig.Input.Heap.entries().size(), 2u);
+  for (const auto &[R, Track] : Sig.Input.Heap.entries()) {
+    (void)R;
+    EXPECT_TRUE(Track.empty());
+    EXPECT_FALSE(Track.Pinned);
+  }
+  // Result: its own fresh empty region in the output.
+  ASSERT_TRUE(Sig.ResultRegion.isValid());
+  EXPECT_TRUE(Sig.Output.Heap.hasRegion(Sig.ResultRegion));
+  EXPECT_EQ(Sig.Output.Heap.entries().size(), 3u);
+}
+
+TEST_F(SignatureFixture, ConsumesRemovesOutputRegion) {
+  FnSignature Sig = elaborate(
+      std::string(ListDecls) +
+          "def g(a, b : node) : unit consumes b { unit }",
+      "g");
+  Symbol B = P->Names.intern("b");
+  RegionId BRegion = Sig.ParamRegion.at(B);
+  EXPECT_TRUE(Sig.Input.Heap.hasRegion(BRegion));
+  EXPECT_FALSE(Sig.Output.Heap.hasRegion(BRegion));
+  EXPECT_FALSE(Sig.OutputImage.at(BRegion).isValid());
+  // a's region survives identically.
+  RegionId ARegion = Sig.ParamRegion.at(P->Names.intern("a"));
+  EXPECT_EQ(Sig.OutputImage.at(ARegion), ARegion);
+}
+
+TEST_F(SignatureFixture, PinnedMarksBothContexts) {
+  FnSignature Sig = elaborate(
+      std::string(ListDecls) + "def h(a : node) : unit pinned a { unit }",
+      "h");
+  RegionId A = Sig.ParamRegion.at(P->Names.intern("a"));
+  EXPECT_TRUE(Sig.Input.Heap.lookup(A)->Pinned);
+  EXPECT_TRUE(Sig.Output.Heap.lookup(A)->Pinned);
+}
+
+TEST_F(SignatureFixture, AfterFieldTracksInBothAndMergesResult) {
+  FnSignature Sig = elaborate(
+      std::string(ListDecls) +
+          "def i(a : node) : node? after: a.next ~ result { a.next }",
+      "i");
+  Symbol A = P->Names.intern("a");
+  Symbol Next = P->Names.intern("next");
+  RegionId ARegion = Sig.ParamRegion.at(A);
+  // a is focused with next tracked in input and output.
+  const VarTrack *In = Sig.Input.Heap.trackedVar(ARegion, A);
+  ASSERT_NE(In, nullptr);
+  ASSERT_TRUE(In->Fields.count(Next));
+  const VarTrack *Out = Sig.Output.Heap.trackedVar(ARegion, A);
+  ASSERT_NE(Out, nullptr);
+  // The result lives in the tracked field's region.
+  EXPECT_EQ(Out->Fields.at(Next), Sig.ResultRegion);
+}
+
+TEST_F(SignatureFixture, BeforeSharesInputRegions) {
+  FnSignature Sig = elaborate(
+      std::string(ListDecls) +
+          "def j(a, b : node) : unit before: a ~ b { unit }",
+      "j");
+  RegionId A = Sig.ParamRegion.at(P->Names.intern("a"));
+  RegionId B = Sig.ParamRegion.at(P->Names.intern("b"));
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Sig.Input.Heap.entries().size(), 1u);
+  // Γ binds both to the shared region.
+  EXPECT_EQ(Sig.Input.Vars.lookup(P->Names.intern("a"))->Region, A);
+  EXPECT_EQ(Sig.Input.Vars.lookup(P->Names.intern("b"))->Region, A);
+}
+
+TEST_F(SignatureFixture, BeforeFieldPath) {
+  FnSignature Sig = elaborate(
+      std::string(ListDecls) +
+          "def k(a, b : node) : unit before: a.next ~ b { unit }",
+      "k");
+  Symbol A = P->Names.intern("a");
+  Symbol Next = P->Names.intern("next");
+  RegionId ARegion = Sig.ParamRegion.at(A);
+  RegionId BRegion = Sig.ParamRegion.at(P->Names.intern("b"));
+  const VarTrack *In = Sig.Input.Heap.trackedVar(ARegion, A);
+  ASSERT_NE(In, nullptr);
+  EXPECT_EQ(In->Fields.at(Next), BRegion);
+}
+
+TEST_F(SignatureFixture, SignaturePrinting) {
+  FnSignature Sig = elaborate(
+      std::string(ListDecls) +
+          "def m(a : node) : node? after: a.next ~ result { a.next }",
+      "m");
+  std::string Text = toString(Sig, P->Names);
+  EXPECT_NE(Text.find("=>"), std::string::npos);
+  EXPECT_NE(Text.find("node?"), std::string::npos);
+}
+
+} // namespace

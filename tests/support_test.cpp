@@ -1,0 +1,85 @@
+//===- tests/support_test.cpp ---------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Expected.h"
+#include "support/Interner.h"
+
+#include <gtest/gtest.h>
+
+using namespace fearless;
+
+namespace {
+
+TEST(Expected, ValueRoundTrip) {
+  Expected<int> Ok = 42;
+  ASSERT_TRUE(Ok.hasValue());
+  EXPECT_EQ(*Ok, 42);
+  EXPECT_EQ(Ok.take(), 42);
+}
+
+TEST(Expected, ErrorCarriesDiagnostic) {
+  Expected<int> Err = fail("something broke", SourceLoc{3, 7});
+  ASSERT_FALSE(Err.hasValue());
+  EXPECT_EQ(Err.error().Message, "something broke");
+  EXPECT_EQ(Err.error().Loc.Line, 3u);
+  EXPECT_NE(Err.error().render().find("3:7"), std::string::npos);
+}
+
+TEST(Expected, FailurePropagatesAcrossTypes) {
+  Expected<int> Err = fail("inner");
+  Expected<std::string> Outer = Err.takeFailure();
+  ASSERT_FALSE(Outer.hasValue());
+  EXPECT_EQ(Outer.error().Message, "inner");
+}
+
+TEST(ExpectedVoid, SuccessAndFailure) {
+  ExpectedVoid Ok = success();
+  EXPECT_TRUE(Ok.hasValue());
+  ExpectedVoid Bad = fail("nope");
+  EXPECT_FALSE(Bad.hasValue());
+  EXPECT_EQ(Bad.error().Message, "nope");
+}
+
+TEST(Diagnostics, EngineCountsErrors) {
+  DiagnosticEngine Engine;
+  EXPECT_FALSE(Engine.hasErrors());
+  Engine.error("first", SourceLoc{1, 1});
+  Engine.note("context", SourceLoc{1, 2});
+  Engine.error("second", SourceLoc{2, 1});
+  EXPECT_TRUE(Engine.hasErrors());
+  EXPECT_EQ(Engine.errorCount(), 2u);
+  EXPECT_EQ(Engine.diagnostics().size(), 3u);
+  std::string All = Engine.renderAll();
+  EXPECT_NE(All.find("first"), std::string::npos);
+  EXPECT_NE(All.find("note: context"), std::string::npos);
+}
+
+TEST(Interner, InterningIsIdempotent) {
+  Interner Names;
+  Symbol A = Names.intern("alpha");
+  Symbol B = Names.intern("beta");
+  Symbol A2 = Names.intern("alpha");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(A.isValid());
+  EXPECT_EQ(Names.spelling(A), "alpha");
+  EXPECT_EQ(Names.spelling(B), "beta");
+  EXPECT_EQ(Names.size(), 2u);
+}
+
+TEST(Interner, InvalidSymbolIsDistinct) {
+  Symbol Invalid;
+  EXPECT_FALSE(Invalid.isValid());
+  Interner Names;
+  EXPECT_NE(Names.intern("x"), Invalid);
+}
+
+TEST(SourceLoc, Rendering) {
+  EXPECT_EQ(toString(SourceLoc{}), "<unknown>");
+  EXPECT_EQ(toString(SourceLoc{12, 34}), "12:34");
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+//===- tests/verifier_test.cpp --------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// The prover–verifier architecture of §5: every emitted derivation
+// re-checks, and corrupted derivations (simulating prover bugs) are
+// rejected by the independent verifier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace fearless;
+
+namespace {
+
+Pipeline mustCompile(std::string_view Source) {
+  Expected<Pipeline> Result = compile(Source);
+  EXPECT_TRUE(Result.hasValue())
+      << (Result.hasValue() ? "" : Result.error().render());
+  return Result ? std::move(*Result) : Pipeline{};
+}
+
+TEST(Verifier, AllSuitesVerify) {
+  for (const char *Source :
+       {programs::SllSuite, programs::DllSuite, programs::RedBlackTree,
+        programs::MessagePassing, programs::BitTrie, programs::Extras}) {
+    Pipeline P = mustCompile(Source);
+    Expected<VerifyStats> Stats = verifyProgram(P.Checked);
+    ASSERT_TRUE(Stats.hasValue())
+        << (Stats ? "" : Stats.error().render());
+    EXPECT_GT(Stats->StepsChecked, 0u);
+  }
+}
+
+/// Finds the first derivation step with the given rule, depth-first.
+DerivStep *findStep(DerivStep &Root, const char *Rule) {
+  if (Root.Rule == Rule)
+    return &Root;
+  for (auto &Child : Root.Children)
+    if (DerivStep *Found = findStep(*Child, Rule))
+      return Found;
+  return nullptr;
+}
+
+TEST(Verifier, CatchesCorruptedFocus) {
+  Pipeline P = mustCompile(programs::SllSuite);
+  Symbol Sum = P.Prog->Names.intern("sum_node");
+  CheckedFunction &Fn = P.Checked.Functions.at(Sum);
+  DerivStep *Focus = findStep(*Fn.Derivation, rules::V1Focus);
+  ASSERT_NE(Focus, nullptr);
+  // Corrupt: pretend the focused region was already tracking a variable.
+  Symbol Ghost = P.Prog->Names.intern("ghost");
+  for (auto &[Region, Track] : Focus->Before.Heap.entries()) {
+    (void)Region;
+    const_cast<RegionTrack &>(Track).Vars[Ghost];
+    break;
+  }
+  Expected<VerifyStats> Stats = verifyFunction(P.Checked, Fn);
+  ASSERT_FALSE(Stats.hasValue());
+}
+
+TEST(Verifier, CatchesCorruptedExploreTarget) {
+  Pipeline P = mustCompile(programs::SllSuite);
+  Symbol Sum = P.Prog->Names.intern("sum_node");
+  CheckedFunction &Fn = P.Checked.Functions.at(Sum);
+  DerivStep *Explore = findStep(*Fn.Derivation, rules::V3Explore);
+  ASSERT_NE(Explore, nullptr);
+  // Corrupt: make the "fresh" target region pre-exist in the Before
+  // context.
+  for (auto &[Region, Track] : Explore->After.Heap.entries()) {
+    if (!Explore->Before.Heap.hasRegion(Region)) {
+      Explore->Before.Heap.addRegion(Region);
+      break;
+    }
+    (void)Track;
+  }
+  Expected<VerifyStats> Stats = verifyFunction(P.Checked, Fn);
+  ASSERT_FALSE(Stats.hasValue());
+  EXPECT_NE(Stats.error().Message.find("V3"), std::string::npos);
+}
+
+TEST(Verifier, CatchesIllFormedContext) {
+  Pipeline P = mustCompile(programs::SllSuite);
+  Symbol Length = P.Prog->Names.intern("length_node");
+  CheckedFunction &Fn = P.Checked.Functions.at(Length);
+  // Corrupt the root's After: bind a tracked variable to the wrong
+  // region.
+  DerivStep *Step = findStep(*Fn.Derivation, rules::V1Focus);
+  ASSERT_NE(Step, nullptr);
+  Step->After.Vars.renameRegion(
+      Step->After.Vars.entries().begin()->second.Region, RegionId{9999});
+  Expected<VerifyStats> Stats = verifyFunction(P.Checked, Fn);
+  ASSERT_FALSE(Stats.hasValue());
+}
+
+TEST(Verifier, CatchesWrongFinalContext) {
+  Pipeline P = mustCompile(programs::SllSuite);
+  Symbol Length = P.Prog->Names.intern("length");
+  CheckedFunction &Fn = P.Checked.Functions.at(Length);
+  // Corrupt the root's final context: drop the parameter's region.
+  ASSERT_FALSE(Fn.Derivation->After.Heap.entries().empty());
+  RegionId First = Fn.Derivation->After.Heap.entries().begin()->first;
+  Fn.Derivation->After.Heap.removeRegion(First);
+  Expected<VerifyStats> Stats = verifyFunction(P.Checked, Fn);
+  ASSERT_FALSE(Stats.hasValue());
+}
+
+TEST(Verifier, DerivationPrintingMentionsRules) {
+  Pipeline P = mustCompile(programs::SllSuite);
+  Symbol Sum = P.Prog->Names.intern("sum_node");
+  const CheckedFunction &Fn = P.Checked.Functions.at(Sum);
+  std::string Text = printDerivation(*Fn.Derivation, P.Prog->Names);
+  EXPECT_NE(Text.find("T5-Isolated-Field-Reference"), std::string::npos);
+  EXPECT_NE(Text.find(rules::V1Focus), std::string::npos);
+  EXPECT_NE(Text.find(rules::V3Explore), std::string::npos);
+}
+
+TEST(Verifier, StatsCountVirtualSteps) {
+  Pipeline P = mustCompile(programs::DllSuite);
+  Expected<VerifyStats> Stats = verifyProgram(P.Checked);
+  ASSERT_TRUE(Stats.hasValue());
+  EXPECT_GT(Stats->VirtualStepsChecked, 10u);
+}
+
+} // namespace

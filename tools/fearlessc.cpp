@@ -1,0 +1,264 @@
+//===- tools/fearlessc.cpp - Command-line driver ---------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// fearlessc — check, inspect, and run surface-language programs.
+//
+//   fearlessc check file.fls            parse + region-check + verify
+//   fearlessc run file.fls main [ints]  check, then run main(ints...)
+//   fearlessc sig file.fls              print every elaborated signature
+//   fearlessc derive file.fls fn        print fn's typing derivation
+//   fearlessc sample NAME               print an embedded sample program
+//                                       (sll | dll | rbtree | message)
+//
+// Options: --no-oracle (naive unification search), --seed N (schedule),
+// --no-checks (erase dynamic reservation checks), --stats.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "runtime/Machine.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace fearless;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: fearlessc <check|run|sig|derive|sample> [args] [options]\n"
+      "  check  <file>                 parse + region-check + verify\n"
+      "  run    <file> <fn> [ints...]  check, then run fn(ints...)\n"
+      "  sig    <file>                 print elaborated signatures\n"
+      "  derive <file> <fn>            print fn's typing derivation\n"
+      "  dot    <file> <fn>            derivation as a Graphviz digraph\n"
+      "  sample <sll|dll|rbtree|message|trie|extras>  print a sample\n"
+      "options: --no-oracle --seed N --no-checks --stats\n");
+  return 2;
+}
+
+Expected<std::string> readFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return fail(std::string("cannot open '") + Path + "'");
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+struct Options {
+  bool UseOracle = true;
+  bool Checks = true;
+  bool Stats = false;
+  uint64_t Seed = 0;
+};
+
+Expected<Pipeline> compileFile(const char *Path, const Options &Opts) {
+  Expected<std::string> Source = readFile(Path);
+  if (!Source)
+    return Source.takeFailure();
+  CheckerOptions CO;
+  CO.UseLivenessOracle = Opts.UseOracle;
+  return compile(*Source, CO);
+}
+
+void printStats(const Pipeline &P) {
+  size_t Virtuals = 0, Unify = 0, Loops = 0;
+  for (const auto &[Name, Fn] : P.Checked.Functions) {
+    (void)Name;
+    Virtuals += Fn.Stats.VirtualSteps;
+    Unify += Fn.Stats.UnifyCandidates;
+    Loops += Fn.Stats.LoopIterations;
+  }
+  std::printf("functions: %zu, virtual transformations: %zu, "
+              "unification candidates: %zu, loop refinements: %zu\n"
+              "verifier: %zu derivation steps (%zu virtual) re-checked\n",
+              P.Checked.Functions.size(), Virtuals, Unify, Loops,
+              P.Verified.StepsChecked, P.Verified.VirtualStepsChecked);
+}
+
+int cmdCheck(const char *Path, const Options &Opts) {
+  Expected<Pipeline> P = compileFile(Path, Opts);
+  if (!P) {
+    std::fprintf(stderr, "%s\n", P.error().render().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (%zu functions)\n", Path,
+              P->Checked.Functions.size());
+  if (Opts.Stats)
+    printStats(*P);
+  return 0;
+}
+
+int cmdRun(const char *Path, const char *Fn,
+           const std::vector<int64_t> &Args, const Options &Opts) {
+  Expected<Pipeline> P = compileFile(Path, Opts);
+  if (!P) {
+    std::fprintf(stderr, "%s\n", P.error().render().c_str());
+    return 1;
+  }
+  Symbol Entry = P->Prog->Names.intern(Fn);
+  const FnDecl *Decl = P->Prog->findFunction(Entry);
+  if (!Decl) {
+    std::fprintf(stderr, "no function '%s'\n", Fn);
+    return 1;
+  }
+  if (Decl->Params.size() != Args.size()) {
+    std::fprintf(stderr, "'%s' takes %zu arguments, got %zu (only int "
+                         "arguments are supported from the CLI)\n",
+                 Fn, Decl->Params.size(), Args.size());
+    return 1;
+  }
+  std::vector<Value> Values;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (!(Decl->Params[I].ParamType == Type::intTy())) {
+      std::fprintf(stderr, "parameter %zu of '%s' is not int\n", I, Fn);
+      return 1;
+    }
+    Values.push_back(Value::intVal(Args[I]));
+  }
+  MachineOptions MO;
+  MO.CheckReservations = Opts.Checks;
+  Machine M(P->Checked, MO);
+  M.spawn(Entry, std::move(Values));
+  Expected<MachineSummary> R = M.run(Opts.Seed);
+  if (!R) {
+    std::fprintf(stderr, "%s\n", R.error().render().c_str());
+    return 1;
+  }
+  std::printf("%s(...) = %s\n", Fn,
+              toString(R->ThreadResults[0]).c_str());
+  if (Opts.Stats)
+    std::printf("steps: %llu, reservation checks: %llu, allocations: "
+                "%llu, disconnect checks: %llu\n",
+                static_cast<unsigned long long>(R->Steps),
+                static_cast<unsigned long long>(
+                    M.stats().ReservationChecks),
+                static_cast<unsigned long long>(M.stats().Allocations),
+                static_cast<unsigned long long>(
+                    M.stats().DisconnectChecks));
+  return 0;
+}
+
+int cmdSig(const char *Path, const Options &Opts) {
+  Expected<Pipeline> P = compileFile(Path, Opts);
+  if (!P) {
+    std::fprintf(stderr, "%s\n", P.error().render().c_str());
+    return 1;
+  }
+  for (const auto &[Name, Sig] : P->Checked.Signatures)
+    std::printf("%s : %s\n", P->Prog->Names.spelling(Name).c_str(),
+                toString(Sig, P->Prog->Names).c_str());
+  return 0;
+}
+
+int cmdDerive(const char *Path, const char *Fn, const Options &Opts) {
+  Expected<Pipeline> P = compileFile(Path, Opts);
+  if (!P) {
+    std::fprintf(stderr, "%s\n", P.error().render().c_str());
+    return 1;
+  }
+  Symbol Name = P->Prog->Names.intern(Fn);
+  auto It = P->Checked.Functions.find(Name);
+  if (It == P->Checked.Functions.end() || !It->second.Derivation) {
+    std::fprintf(stderr, "no derivation for '%s'\n", Fn);
+    return 1;
+  }
+  std::printf("%s", printDerivation(*It->second.Derivation,
+                                    P->Prog->Names)
+                        .c_str());
+  return 0;
+}
+
+int cmdDot(const char *Path, const char *Fn, const Options &Opts) {
+  Expected<Pipeline> P = compileFile(Path, Opts);
+  if (!P) {
+    std::fprintf(stderr, "%s\n", P.error().render().c_str());
+    return 1;
+  }
+  Symbol Name = P->Prog->Names.intern(Fn);
+  auto It = P->Checked.Functions.find(Name);
+  if (It == P->Checked.Functions.end() || !It->second.Derivation) {
+    std::fprintf(stderr, "no derivation for '%s'\n", Fn);
+    return 1;
+  }
+  std::printf("%s", printDerivationDot(*It->second.Derivation,
+                                       P->Prog->Names)
+                        .c_str());
+  return 0;
+}
+
+int cmdSample(const char *Name) {
+  const char *Source = nullptr;
+  if (!std::strcmp(Name, "sll"))
+    Source = programs::SllSuite;
+  else if (!std::strcmp(Name, "dll"))
+    Source = programs::DllSuite;
+  else if (!std::strcmp(Name, "rbtree"))
+    Source = programs::RedBlackTree;
+  else if (!std::strcmp(Name, "message"))
+    Source = programs::MessagePassing;
+  else if (!std::strcmp(Name, "trie"))
+    Source = programs::BitTrie;
+  else if (!std::strcmp(Name, "extras"))
+    Source = programs::Extras;
+  if (!Source) {
+    std::fprintf(stderr, "unknown sample '%s' (try sll, dll, rbtree, "
+                         "message, trie, extras)\n",
+                 Name);
+    return 1;
+  }
+  std::fputs(Source, stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+
+  Options Opts;
+  std::vector<const char *> Positional;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--no-oracle"))
+      Opts.UseOracle = false;
+    else if (!std::strcmp(argv[I], "--no-checks"))
+      Opts.Checks = false;
+    else if (!std::strcmp(argv[I], "--stats"))
+      Opts.Stats = true;
+    else if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
+      Opts.Seed = std::strtoull(argv[++I], nullptr, 10);
+    else
+      Positional.push_back(argv[I]);
+  }
+  if (Positional.empty())
+    return usage();
+
+  const char *Cmd = Positional[0];
+  if (!std::strcmp(Cmd, "check") && Positional.size() == 2)
+    return cmdCheck(Positional[1], Opts);
+  if (!std::strcmp(Cmd, "run") && Positional.size() >= 3) {
+    std::vector<int64_t> Args;
+    for (size_t I = 3; I < Positional.size(); ++I)
+      Args.push_back(std::strtoll(Positional[I], nullptr, 10));
+    return cmdRun(Positional[1], Positional[2], Args, Opts);
+  }
+  if (!std::strcmp(Cmd, "sig") && Positional.size() == 2)
+    return cmdSig(Positional[1], Opts);
+  if (!std::strcmp(Cmd, "derive") && Positional.size() == 3)
+    return cmdDerive(Positional[1], Positional[2], Opts);
+  if (!std::strcmp(Cmd, "dot") && Positional.size() == 3)
+    return cmdDot(Positional[1], Positional[2], Opts);
+  if (!std::strcmp(Cmd, "sample") && Positional.size() == 2)
+    return cmdSample(Positional[1]);
+  return usage();
+}
