@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ifdisconnected.dir/bench_ifdisconnected.cpp.o"
+  "CMakeFiles/bench_ifdisconnected.dir/bench_ifdisconnected.cpp.o.d"
+  "bench_ifdisconnected"
+  "bench_ifdisconnected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ifdisconnected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

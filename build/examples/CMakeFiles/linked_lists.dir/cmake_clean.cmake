@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linked_lists.dir/linked_lists.cpp.o"
+  "CMakeFiles/linked_lists.dir/linked_lists.cpp.o.d"
+  "linked_lists"
+  "linked_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linked_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

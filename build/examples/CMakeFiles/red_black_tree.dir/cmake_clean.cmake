@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/red_black_tree.dir/red_black_tree.cpp.o"
+  "CMakeFiles/red_black_tree.dir/red_black_tree.cpp.o.d"
+  "red_black_tree"
+  "red_black_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/red_black_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

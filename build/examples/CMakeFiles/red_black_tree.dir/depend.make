@@ -1,0 +1,2 @@
+# Empty dependencies file for red_black_tree.
+# This may be replaced when dependencies are built.

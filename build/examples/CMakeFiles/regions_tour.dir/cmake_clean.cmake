@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_tour.dir/regions_tour.cpp.o"
+  "CMakeFiles/regions_tour.dir/regions_tour.cpp.o.d"
+  "regions_tour"
+  "regions_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Liveness.cpp" "src/CMakeFiles/fearless.dir/analysis/Liveness.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/analysis/Liveness.cpp.o.d"
+  "/root/repo/src/ast/Ast.cpp" "src/CMakeFiles/fearless.dir/ast/Ast.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/ast/Ast.cpp.o.d"
+  "/root/repo/src/ast/AstPrinter.cpp" "src/CMakeFiles/fearless.dir/ast/AstPrinter.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/ast/AstPrinter.cpp.o.d"
+  "/root/repo/src/ast/Types.cpp" "src/CMakeFiles/fearless.dir/ast/Types.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/ast/Types.cpp.o.d"
+  "/root/repo/src/baselines/AffineChecker.cpp" "src/CMakeFiles/fearless.dir/baselines/AffineChecker.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/baselines/AffineChecker.cpp.o.d"
+  "/root/repo/src/baselines/GlobalDomChecker.cpp" "src/CMakeFiles/fearless.dir/baselines/GlobalDomChecker.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/baselines/GlobalDomChecker.cpp.o.d"
+  "/root/repo/src/checker/Checker.cpp" "src/CMakeFiles/fearless.dir/checker/Checker.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/checker/Checker.cpp.o.d"
+  "/root/repo/src/checker/Derivation.cpp" "src/CMakeFiles/fearless.dir/checker/Derivation.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/checker/Derivation.cpp.o.d"
+  "/root/repo/src/checker/Framing.cpp" "src/CMakeFiles/fearless.dir/checker/Framing.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/checker/Framing.cpp.o.d"
+  "/root/repo/src/checker/Unify.cpp" "src/CMakeFiles/fearless.dir/checker/Unify.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/checker/Unify.cpp.o.d"
+  "/root/repo/src/checker/Virtual.cpp" "src/CMakeFiles/fearless.dir/checker/Virtual.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/checker/Virtual.cpp.o.d"
+  "/root/repo/src/concurrency/Channel.cpp" "src/CMakeFiles/fearless.dir/concurrency/Channel.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/concurrency/Channel.cpp.o.d"
+  "/root/repo/src/concurrency/ParallelExec.cpp" "src/CMakeFiles/fearless.dir/concurrency/ParallelExec.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/concurrency/ParallelExec.cpp.o.d"
+  "/root/repo/src/concurrency/Scheduler.cpp" "src/CMakeFiles/fearless.dir/concurrency/Scheduler.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/concurrency/Scheduler.cpp.o.d"
+  "/root/repo/src/driver/Driver.cpp" "src/CMakeFiles/fearless.dir/driver/Driver.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/driver/Driver.cpp.o.d"
+  "/root/repo/src/lexer/Lexer.cpp" "src/CMakeFiles/fearless.dir/lexer/Lexer.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/lexer/Lexer.cpp.o.d"
+  "/root/repo/src/parser/Parser.cpp" "src/CMakeFiles/fearless.dir/parser/Parser.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/parser/Parser.cpp.o.d"
+  "/root/repo/src/regions/Canonical.cpp" "src/CMakeFiles/fearless.dir/regions/Canonical.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/regions/Canonical.cpp.o.d"
+  "/root/repo/src/regions/Contexts.cpp" "src/CMakeFiles/fearless.dir/regions/Contexts.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/regions/Contexts.cpp.o.d"
+  "/root/repo/src/runtime/Disconnected.cpp" "src/CMakeFiles/fearless.dir/runtime/Disconnected.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/runtime/Disconnected.cpp.o.d"
+  "/root/repo/src/runtime/Heap.cpp" "src/CMakeFiles/fearless.dir/runtime/Heap.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/runtime/Heap.cpp.o.d"
+  "/root/repo/src/runtime/Interp.cpp" "src/CMakeFiles/fearless.dir/runtime/Interp.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/runtime/Interp.cpp.o.d"
+  "/root/repo/src/runtime/Invariants.cpp" "src/CMakeFiles/fearless.dir/runtime/Invariants.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/runtime/Invariants.cpp.o.d"
+  "/root/repo/src/runtime/Machine.cpp" "src/CMakeFiles/fearless.dir/runtime/Machine.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/runtime/Machine.cpp.o.d"
+  "/root/repo/src/runtime/Value.cpp" "src/CMakeFiles/fearless.dir/runtime/Value.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/runtime/Value.cpp.o.d"
+  "/root/repo/src/sema/Resolver.cpp" "src/CMakeFiles/fearless.dir/sema/Resolver.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/sema/Resolver.cpp.o.d"
+  "/root/repo/src/sema/Signature.cpp" "src/CMakeFiles/fearless.dir/sema/Signature.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/sema/Signature.cpp.o.d"
+  "/root/repo/src/sema/StructTable.cpp" "src/CMakeFiles/fearless.dir/sema/StructTable.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/sema/StructTable.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/fearless.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/Interner.cpp" "src/CMakeFiles/fearless.dir/support/Interner.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/support/Interner.cpp.o.d"
+  "/root/repo/src/verifier/Verifier.cpp" "src/CMakeFiles/fearless.dir/verifier/Verifier.cpp.o" "gcc" "src/CMakeFiles/fearless.dir/verifier/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for fearless.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_test.dir/regions_test.cpp.o"
+  "CMakeFiles/regions_test.dir/regions_test.cpp.o.d"
+  "regions_test"
+  "regions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_test.dir/virtual_test.cpp.o"
+  "CMakeFiles/virtual_test.dir/virtual_test.cpp.o.d"
+  "virtual_test"
+  "virtual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

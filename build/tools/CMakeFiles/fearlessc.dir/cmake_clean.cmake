@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fearlessc.dir/fearlessc.cpp.o"
+  "CMakeFiles/fearlessc.dir/fearlessc.cpp.o.d"
+  "fearlessc"
+  "fearlessc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fearlessc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
