@@ -21,6 +21,22 @@ using namespace fearless;
 
 namespace {
 
+/// Exports the executor's per-run RuntimeMetrics as benchmark counters,
+/// so `--benchmark_format=json` yields step/send/recv/disconnected
+/// counters comparable across revisions (BENCH_*.json).
+void exportMetrics(benchmark::State &State, const RuntimeMetrics &M) {
+  State.counters["steps"] = static_cast<double>(M.Steps);
+  State.counters["sends"] = static_cast<double>(M.Sends);
+  State.counters["recvs"] = static_cast<double>(M.Recvs);
+  State.counters["allocations"] = static_cast<double>(M.Allocations);
+  State.counters["disconnect_checks"] =
+      static_cast<double>(M.DisconnectChecks);
+  State.counters["channel_peak_depth"] =
+      static_cast<double>(M.ChannelPeakDepth);
+  State.counters["threads_cancelled"] =
+      static_cast<double>(M.ThreadsCancelled);
+}
+
 void BM_ParallelItemPipeline(benchmark::State &State) {
   Expected<Pipeline> P = compile(programs::MessagePassing);
   if (!P) {
@@ -31,6 +47,7 @@ void BM_ParallelItemPipeline(benchmark::State &State) {
   const int PerProducer = 2000;
   Symbol Producer = P->Prog->Names.intern("producer");
   Symbol Consumer = P->Prog->Names.intern("consumer");
+  RuntimeMetrics LastRun;
   for (auto _ : State) {
     ParallelExec Exec(P->Checked);
     for (int I = 0; I < Producers; ++I)
@@ -42,9 +59,11 @@ void BM_ParallelItemPipeline(benchmark::State &State) {
       return;
     }
     benchmark::DoNotOptimize((*R).back());
+    LastRun = Exec.metrics();
   }
   State.SetItemsProcessed(State.iterations() * Producers * PerProducer);
   State.counters["producers"] = Producers;
+  exportMetrics(State, LastRun);
 }
 BENCHMARK(BM_ParallelItemPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -59,6 +78,7 @@ void BM_ParallelListPipeline(benchmark::State &State) {
   const int Chunk = 32;
   Symbol Producer = P->Prog->Names.intern("producer_lists");
   Symbol Consumer = P->Prog->Names.intern("consumer_lists");
+  RuntimeMetrics LastRun;
   for (auto _ : State) {
     ParallelExec Exec(P->Checked);
     for (int I = 0; I < Producers; ++I)
@@ -70,9 +90,11 @@ void BM_ParallelListPipeline(benchmark::State &State) {
       return;
     }
     benchmark::DoNotOptimize((*R).back());
+    LastRun = Exec.metrics();
   }
   State.SetItemsProcessed(State.iterations() * Producers * Lists * Chunk);
   State.counters["producers"] = Producers;
+  exportMetrics(State, LastRun);
 }
 BENCHMARK(BM_ParallelListPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -87,6 +109,7 @@ void BM_AbstractMachineItemPipeline(benchmark::State &State) {
   const int Items = 2000;
   Symbol Producer = P->Prog->Names.intern("producer");
   Symbol Consumer = P->Prog->Names.intern("consumer");
+  RuntimeMetrics LastRun;
   for (auto _ : State) {
     Machine M(P->Checked);
     M.spawn(Producer, {Value::intVal(Items)});
@@ -97,8 +120,10 @@ void BM_AbstractMachineItemPipeline(benchmark::State &State) {
       return;
     }
     benchmark::DoNotOptimize(R->Steps);
+    LastRun = M.metrics();
   }
   State.SetItemsProcessed(State.iterations() * Items);
+  exportMetrics(State, LastRun);
 }
 BENCHMARK(BM_AbstractMachineItemPipeline);
 

@@ -82,13 +82,16 @@ void BM_RefCount_DetachSmall(benchmark::State &State) {
   size_t N = static_cast<size_t>(State.range(0));
   Workload W(N, /*K=*/1, /*Connected=*/false);
   size_t Visited = 0;
+  size_t Edges = 0;
   for (auto _ : State) {
     DisconnectOutcome Out = checkDisconnectedRefCount(
         *W.TheHeap, W.DetachedRoot, W.RegionRoot);
     benchmark::DoNotOptimize(Out.Disconnected);
     Visited = Out.ObjectsVisited;
+    Edges = Out.EdgesTraversed;
   }
   State.counters["visited"] = static_cast<double>(Visited);
+  State.counters["edges"] = static_cast<double>(Edges);
   State.counters["region_size"] = static_cast<double>(N);
 }
 BENCHMARK(BM_RefCount_DetachSmall)
@@ -102,13 +105,16 @@ void BM_Naive_DetachSmall(benchmark::State &State) {
   size_t N = static_cast<size_t>(State.range(0));
   Workload W(N, /*K=*/1, /*Connected=*/false);
   size_t Visited = 0;
+  size_t Edges = 0;
   for (auto _ : State) {
     DisconnectOutcome Out =
         checkDisconnectedNaive(*W.TheHeap, W.DetachedRoot, W.RegionRoot);
     benchmark::DoNotOptimize(Out.Disconnected);
     Visited = Out.ObjectsVisited;
+    Edges = Out.EdgesTraversed;
   }
   State.counters["visited"] = static_cast<double>(Visited);
+  State.counters["edges"] = static_cast<double>(Edges);
   State.counters["region_size"] = static_cast<double>(N);
 }
 BENCHMARK(BM_Naive_DetachSmall)
@@ -122,13 +128,16 @@ void BM_RefCount_DetachSubgraph(benchmark::State &State) {
   size_t K = static_cast<size_t>(State.range(0));
   Workload W(/*N=*/1 << 18, K, /*Connected=*/false);
   size_t Visited = 0;
+  size_t Edges = 0;
   for (auto _ : State) {
     DisconnectOutcome Out = checkDisconnectedRefCount(
         *W.TheHeap, W.DetachedRoot, W.RegionRoot);
     benchmark::DoNotOptimize(Out.Disconnected);
     Visited = Out.ObjectsVisited;
+    Edges = Out.EdgesTraversed;
   }
   State.counters["visited"] = static_cast<double>(Visited);
+  State.counters["edges"] = static_cast<double>(Edges);
   State.counters["detached_size"] = static_cast<double>(K);
 }
 BENCHMARK(BM_RefCount_DetachSubgraph)
@@ -144,13 +153,16 @@ void BM_RefCount_BuggyStillConnected(benchmark::State &State) {
   size_t N = static_cast<size_t>(State.range(0));
   Workload W(N, /*K=*/2, /*Connected=*/true);
   size_t Visited = 0;
+  size_t Edges = 0;
   for (auto _ : State) {
     DisconnectOutcome Out = checkDisconnectedRefCount(
         *W.TheHeap, W.DetachedRoot, W.RegionRoot);
     benchmark::DoNotOptimize(Out.Disconnected);
     Visited = Out.ObjectsVisited;
+    Edges = Out.EdgesTraversed;
   }
   State.counters["visited"] = static_cast<double>(Visited);
+  State.counters["edges"] = static_cast<double>(Edges);
   State.counters["region_size"] = static_cast<double>(N);
 }
 BENCHMARK(BM_RefCount_BuggyStillConnected)
@@ -162,13 +174,16 @@ void BM_Naive_BuggyStillConnected(benchmark::State &State) {
   size_t N = static_cast<size_t>(State.range(0));
   Workload W(N, /*K=*/2, /*Connected=*/true);
   size_t Visited = 0;
+  size_t Edges = 0;
   for (auto _ : State) {
     DisconnectOutcome Out =
         checkDisconnectedNaive(*W.TheHeap, W.DetachedRoot, W.RegionRoot);
     benchmark::DoNotOptimize(Out.Disconnected);
     Visited = Out.ObjectsVisited;
+    Edges = Out.EdgesTraversed;
   }
   State.counters["visited"] = static_cast<double>(Visited);
+  State.counters["edges"] = static_cast<double>(Edges);
   State.counters["region_size"] = static_cast<double>(N);
 }
 BENCHMARK(BM_Naive_BuggyStillConnected)->Arg(256)->Arg(4096)->Arg(65536);

@@ -6,30 +6,77 @@
 
 #include "concurrency/Channel.h"
 
+#include <algorithm>
+
 using namespace fearless;
 
+//===----------------------------------------------------------------------===//
+// ValueChannel
+//===----------------------------------------------------------------------===//
+
 void ValueChannel::send(Value V) {
+  // Count the value as in-flight *before* publishing it, so quiescence
+  // detection never sees (no active sender, empty queues) while a value
+  // is between the two. The set mutex is taken before the queue mutex —
+  // the one global lock order.
+  Parent.noteSend();
+  bool Published = false;
   {
     std::lock_guard<std::mutex> Lock(M);
-    Queue.push_back(V);
+    if (State == ChannelState::Open) {
+      Queue.push_back(V);
+      ++Sends;
+      PeakDepth = std::max<uint64_t>(PeakDepth, Queue.size());
+      Published = true;
+    }
+  }
+  if (!Published) {
+    Parent.noteSendDropped();
+    return;
   }
   CV.notify_one();
 }
 
-bool ValueChannel::recv(Value &Out) {
-  std::unique_lock<std::mutex> Lock(M);
-  CV.wait(Lock, [&] { return !Queue.empty() || Closed; });
-  if (Queue.empty())
-    return false;
-  Out = Queue.front();
-  Queue.pop_front();
-  return true;
+RecvResult ValueChannel::recv(Value &Out) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (State == ChannelState::Aborted)
+        return RecvResult::Aborted;
+      if (!Queue.empty()) {
+        Out = Queue.front();
+        Queue.pop_front();
+        ++Recvs;
+        break;
+      }
+      if (State == ChannelState::Closed)
+        return RecvResult::Closed;
+    }
+    // Empty and open: this thread is no longer a potential sender while
+    // it waits. Declaring that may itself complete quiescence and close
+    // this very channel, which the wait predicate re-checks.
+    Parent.enterBlockedRecv();
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      CV.wait(Lock, [&] {
+        return !Queue.empty() || State != ChannelState::Open;
+      });
+    }
+    Parent.exitBlockedRecv();
+  }
+  Parent.noteRecv();
+  return RecvResult::Ok;
 }
 
-void ValueChannel::close() {
+void ValueChannel::close(ChannelState To) {
   {
     std::lock_guard<std::mutex> Lock(M);
-    Closed = true;
+    // Monotone: Open < Closed < Aborted.
+    if (To == ChannelState::Closed && State != ChannelState::Open)
+      return;
+    State = To;
+    if (To == ChannelState::Aborted)
+      Queue.clear(); // a hard abort discards in-flight values
   }
   CV.notify_all();
 }
@@ -39,18 +86,100 @@ size_t ValueChannel::sizeApprox() const {
   return Queue.size();
 }
 
+//===----------------------------------------------------------------------===//
+// ChannelSet
+//===----------------------------------------------------------------------===//
+
 ValueChannel &ChannelSet::channelFor(const Type &Ty) {
   std::lock_guard<std::mutex> Lock(M);
   auto &Slot = Channels[Ty];
   if (!Slot)
-    Slot = std::make_unique<ValueChannel>();
+    Slot = std::make_unique<ValueChannel>(*this, Shutdown);
   return *Slot;
+}
+
+void ChannelSet::registerThreads(size_t N) {
+  std::lock_guard<std::mutex> Lock(M);
+  ActiveThreads += N;
+}
+
+void ChannelSet::threadFinished() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (ActiveThreads)
+    --ActiveThreads;
+  maybeQuiesceLocked();
 }
 
 void ChannelSet::closeAll() {
   std::lock_guard<std::mutex> Lock(M);
+  shutdownLocked(ChannelState::Closed);
+}
+
+void ChannelSet::abortAll() {
+  std::lock_guard<std::mutex> Lock(M);
+  shutdownLocked(ChannelState::Aborted);
+}
+
+void ChannelSet::noteSend() {
+  std::lock_guard<std::mutex> Lock(M);
+  ++PendingValues;
+}
+
+void ChannelSet::noteSendDropped() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (PendingValues)
+    --PendingValues;
+  ++DroppedValues;
+}
+
+void ChannelSet::noteRecv() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (PendingValues)
+    --PendingValues;
+}
+
+void ChannelSet::enterBlockedRecv() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (ActiveThreads)
+    --ActiveThreads;
+  maybeQuiesceLocked();
+}
+
+void ChannelSet::exitBlockedRecv() {
+  std::lock_guard<std::mutex> Lock(M);
+  ++ActiveThreads;
+}
+
+void ChannelSet::maybeQuiesceLocked() {
+  // No potential sender and nothing in flight: every blocked receiver is
+  // waiting for a value that can never arrive. Close cleanly.
+  if (Shutdown == ChannelState::Open && ActiveThreads == 0 &&
+      PendingValues == 0)
+    shutdownLocked(ChannelState::Closed);
+}
+
+void ChannelSet::shutdownLocked(ChannelState To) {
+  if (Shutdown == ChannelState::Aborted)
+    return; // terminal
+  if (To == ChannelState::Closed && Shutdown == ChannelState::Closed)
+    return;
+  Shutdown = To;
   for (auto &[Ty, Chan] : Channels) {
     (void)Ty;
-    Chan->close();
+    Chan->close(To);
+  }
+}
+
+void ChannelSet::collectMetrics(RuntimeMetrics &Out) {
+  std::lock_guard<std::mutex> Lock(M);
+  Out.ChannelsCreated += Channels.size();
+  Out.ChannelDroppedValues += DroppedValues;
+  for (auto &[Ty, Chan] : Channels) {
+    (void)Ty;
+    std::lock_guard<std::mutex> ChanLock(Chan->M);
+    Out.ChannelSends += Chan->Sends;
+    Out.ChannelRecvs += Chan->Recvs;
+    Out.ChannelPeakDepth =
+        std::max<uint64_t>(Out.ChannelPeakDepth, Chan->PeakDepth);
   }
 }

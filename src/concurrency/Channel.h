@@ -10,6 +10,18 @@
 /// type system guarantees reservation safety, the transferred object
 /// graphs need no synchronization — only the channel itself is locked.
 ///
+/// The channel set also implements the executor's shutdown protocol.
+/// Every worker thread registers as a potential sender; a thread stops
+/// being one when it finishes or while it is blocked in recv (a blocked
+/// receiver cannot send until it receives). The set therefore detects
+/// global quiescence — no potential sender left and no value in flight —
+/// and closes every channel *cleanly*: receivers drain what remains and
+/// then observe RecvResult::Closed, a clean stop rather than an error.
+/// Channels created after shutdown are born in the shutdown state, so a
+/// late recv cannot resurrect a closed run. A hard abort (thread error or
+/// watchdog) instead puts channels in the Aborted state, which wakes
+/// receivers immediately without draining.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FEARLESS_CONCURRENCY_CHANNEL_H
@@ -17,46 +29,122 @@
 
 #include "ast/Types.h"
 #include "runtime/Value.h"
+#include "support/Metrics.h"
 
 #include <condition_variable>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 
 namespace fearless {
 
+class ChannelSet;
+
+/// Lifecycle of a channel (and, for the set, of the whole run).
+enum class ChannelState {
+  Open,    ///< Senders may still publish.
+  Closed,  ///< Every possible sender finished: drain, then stop cleanly.
+  Aborted, ///< Hard shutdown (error / watchdog): stop immediately.
+};
+
+/// Outcome of a blocking receive.
+enum class RecvResult {
+  Ok,      ///< A value was dequeued.
+  Closed,  ///< Drained and no sender can ever publish again.
+  Aborted, ///< The run was torn down.
+};
+
 /// A blocking multi-producer multi-consumer value queue.
 class ValueChannel {
 public:
-  /// Enqueues \p V; never blocks (unbounded).
+  ValueChannel(ChannelSet &Parent, ChannelState Initial)
+      : Parent(Parent), State(Initial) {}
+
+  /// Enqueues \p V; never blocks (unbounded). During shutdown the value
+  /// is dropped and counted in the set's dropped-value metric.
   void send(Value V);
 
-  /// Dequeues a value, blocking until one is available or the channel is
-  /// closed. Returns false when closed and drained.
-  bool recv(Value &Out);
+  /// Dequeues a value, blocking until one is available or the channel
+  /// leaves the Open state. On a Closed channel the queue is drained
+  /// first; on an Aborted channel the call returns immediately.
+  RecvResult recv(Value &Out);
 
-  /// Wakes all blocked receivers; subsequent recv on an empty queue
-  /// returns false.
-  void close();
+  /// Transitions to \p To (Closed or Aborted) and wakes all blocked
+  /// receivers. Open → Closed → Aborted transitions only; a close never
+  /// reopens and an abort is terminal.
+  void close(ChannelState To);
 
   size_t sizeApprox() const;
 
 private:
+  friend class ChannelSet;
+
+  ChannelSet &Parent;
   mutable std::mutex M;
   std::condition_variable CV;
   std::deque<Value> Queue;
-  bool Closed = false;
+  ChannelState State;
+  // Per-channel counters, guarded by M.
+  uint64_t Sends = 0;
+  uint64_t Recvs = 0;
+  uint64_t PeakDepth = 0;
 };
 
-/// One channel per static type τ.
+/// One channel per static type τ, plus the shutdown protocol state for a
+/// single executor run.
 class ChannelSet {
 public:
+  /// Returns the channel for \p Ty, creating it on first use. A channel
+  /// created after shutdown is born Closed/Aborted.
   ValueChannel &channelFor(const Type &Ty);
+
+  /// Registers \p N worker threads as potential senders. Must be called
+  /// before the workers start; a set shuts down the moment no potential
+  /// sender remains, so registering late would race the detection.
+  void registerThreads(size_t N);
+
+  /// One worker finished (normally or not): it can never send again.
+  /// May trigger clean closure of every channel.
+  void threadFinished();
+
+  /// Closes every channel cleanly (queues drain, then RecvResult::Closed)
+  /// and marks the set so later-created channels are born closed.
   void closeAll();
 
+  /// Hard shutdown: every channel (including ones created later) aborts;
+  /// queued values are discarded.
+  void abortAll();
+
+  /// Adds this set's channel counters into \p Out.
+  void collectMetrics(RuntimeMetrics &Out);
+
 private:
+  friend class ValueChannel;
+
+  // Quiescence-detection hooks, called by ValueChannel *without* its
+  // queue lock held (lock order is set mutex, then queue mutex).
+  void noteSend();        ///< A value is about to be published.
+  void noteSendDropped(); ///< The publish was refused (shutdown).
+  void noteRecv();        ///< A value was consumed.
+  void enterBlockedRecv(); ///< A worker is about to block in recv.
+  void exitBlockedRecv();  ///< The worker woke up again.
+
+  /// Pre: M held. Closes every existing channel and records the state
+  /// for channels created later.
+  void shutdownLocked(ChannelState To);
+  /// Pre: M held. Triggers clean closure once no potential sender
+  /// remains and no value is in flight.
+  void maybeQuiesceLocked();
+
   std::mutex M;
   std::map<Type, std::unique_ptr<ValueChannel>> Channels;
+  /// Registered workers that are neither finished nor blocked in recv.
+  size_t ActiveThreads = 0;
+  /// Values sent but not yet received, across all channels.
+  size_t PendingValues = 0;
+  uint64_t DroppedValues = 0;
+  ChannelState Shutdown = ChannelState::Open;
 };
 
 } // namespace fearless

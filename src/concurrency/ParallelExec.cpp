@@ -8,32 +8,56 @@
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 using namespace fearless;
 
-ParallelExec::ParallelExec(const CheckedProgram &Checked)
-    : Checked(Checked), TheHeap(Checked.Structs) {}
+ParallelExec::ParallelExec(const CheckedProgram &Checked,
+                           ParallelExecOptions Opts)
+    : Checked(Checked), Opts(Opts), TheHeap(Checked.Structs) {}
 
 void ParallelExec::spawn(Symbol FnName, std::vector<Value> Args) {
+  assert(!Ran && "spawn after run(): the entry list is already snapshot");
+  if (Ran)
+    return;
   Entries.push_back(Entry{FnName, std::move(Args)});
 }
 
 Expected<std::vector<Value>> ParallelExec::run() {
+  if (Ran)
+    return fail("ParallelExec::run() may be called at most once per "
+                "executor");
+  Ran = true;
+  // Snapshot the entries: workers index a vector that can no longer
+  // grow or reallocate under them.
+  const std::vector<Entry> Work = std::move(Entries);
+  Entries.clear();
+
+  enum class Outcome { Cancelled, Finished, Errored };
   struct Slot {
     Value Result;
     std::string Error;
-    uint64_t Steps = 0;
+    Outcome Out = Outcome::Cancelled;
+    MachineStats Stats;
   };
-  std::vector<Slot> Slots(Entries.size());
+  std::vector<Slot> Slots(Work.size());
   std::vector<std::thread> Workers;
   std::atomic<bool> Abort{false};
+  std::mutex DoneM;
+  std::condition_variable DoneCV;
+  size_t DoneCount = 0;
 
-  // Per-thread stats: stepThread requires a stats sink; keep them local
-  // to each worker to avoid contention.
-  for (size_t I = 0; I < Entries.size(); ++I) {
-    Workers.emplace_back([this, I, &Slots, &Abort] {
-      const Entry &E = Entries[I];
+  Channels.registerThreads(Work.size());
+  auto Started = std::chrono::steady_clock::now();
+
+  for (size_t I = 0; I < Work.size(); ++I) {
+    Workers.emplace_back([this, I, &Work, &Slots, &Abort, &DoneM, &DoneCV,
+                          &DoneCount] {
+      const Entry &E = Work[I];
+      Slot &S = Slots[I];
       const FnDecl *Fn = Checked.Prog->findFunction(E.Fn);
       assert(Fn && "spawning an unknown function");
       assert(E.Args.size() == Fn->Params.size() && "spawn arity");
@@ -44,6 +68,8 @@ Expected<std::vector<Value>> ParallelExec::run() {
         T.Env.emplace_back(Fn->Params[A].Name, E.Args[A]);
       T.ControlExpr = Fn->Body.get();
 
+      // Per-thread counters: lock-free, merged into the metrics registry
+      // at join.
       MachineStats Stats;
       InterpServices Services;
       Services.TheHeap = &TheHeap;
@@ -52,55 +78,132 @@ Expected<std::vector<Value>> ParallelExec::run() {
       Services.SendTypes = &Checked.SendTypes;
       Services.CheckReservations = false; // erased: the checker proved them
 
-      while (!Abort.load(std::memory_order_relaxed)) {
+      bool Done = false;
+      while (!Done && !Abort.load(std::memory_order_relaxed)) {
         StepOutcome Out = stepThread(T, Services);
-        if (Out == StepOutcome::Progress)
-          continue;
-        if (Out == StepOutcome::Finished) {
-          Slots[I].Result = T.Result;
+        switch (Out) {
+        case StepOutcome::Progress:
           break;
-        }
-        if (Out == StepOutcome::BlockedSend) {
+        case StepOutcome::Finished:
+          S.Result = T.Result;
+          S.Out = Outcome::Finished;
+          Done = true;
+          break;
+        case StepOutcome::BlockedSend:
           Channels.channelFor(T.CommType).send(T.PendingSend);
+          ++Stats.Sends;
           T.PendingSend = Value();
           T.ControlValue = Value::unitVal();
           T.HasValue = true;
           T.Status = ThreadStatus::Runnable;
-          continue;
-        }
-        if (Out == StepOutcome::BlockedRecv) {
+          break;
+        case StepOutcome::BlockedRecv: {
           Value Received;
-          if (!Channels.channelFor(T.CommType).recv(Received)) {
-            Slots[I].Error = "channel closed while receiving";
-            Abort.store(true, std::memory_order_relaxed);
+          switch (Channels.channelFor(T.CommType).recv(Received)) {
+          case RecvResult::Ok:
+            ++Stats.Recvs;
+            T.ControlValue = Received;
+            T.HasValue = true;
+            T.Status = ThreadStatus::Runnable;
+            break;
+          case RecvResult::Closed:
+          case RecvResult::Aborted:
+            // Closed: every possible sender finished — a clean stop, the
+            // thread is cancelled mid-recv with a unit result. Aborted:
+            // another thread failed or the watchdog fired; the originating
+            // diagnostic is reported, not this thread.
+            S.Result = Value::unitVal();
+            S.Out = Outcome::Cancelled;
+            Done = true;
             break;
           }
-          T.ControlValue = Received;
-          T.HasValue = true;
-          T.Status = ThreadStatus::Runnable;
-          continue;
+          break;
         }
-        // Stuck.
-        Slots[I].Error = T.Error;
-        Abort.store(true, std::memory_order_relaxed);
-        break;
+        case StepOutcome::Stuck:
+          S.Error = T.Error;
+          S.Out = Outcome::Errored;
+          Abort.store(true, std::memory_order_relaxed);
+          Channels.abortAll(); // wake blocked receivers
+          Done = true;
+          break;
+        }
       }
-      Slots[I].Steps = Stats.Steps;
-      if (Abort.load(std::memory_order_relaxed))
-        Channels.closeAll(); // unblock receivers
+      S.Stats = Stats;
+      Channels.threadFinished();
+      {
+        std::lock_guard<std::mutex> Lock(DoneM);
+        ++DoneCount;
+      }
+      DoneCV.notify_all();
     });
+  }
+
+  bool WatchdogFired = false;
+  {
+    std::unique_lock<std::mutex> Lock(DoneM);
+    auto AllDone = [&] { return DoneCount == Work.size(); };
+    if (Opts.WatchdogMillis > 0) {
+      if (!DoneCV.wait_for(Lock,
+                           std::chrono::milliseconds(Opts.WatchdogMillis),
+                           AllDone)) {
+        WatchdogFired = true;
+        Abort.store(true, std::memory_order_relaxed);
+        Channels.abortAll();
+        DoneCV.wait(Lock, AllDone);
+      }
+    } else {
+      DoneCV.wait(Lock, AllDone);
+    }
   }
   for (std::thread &W : Workers)
     W.join();
 
-  std::vector<Value> Results;
-  TotalSteps = 0;
-  for (size_t I = 0; I < Slots.size(); ++I) {
-    if (!Slots[I].Error.empty())
-      return fail("parallel thread " + std::to_string(I) + ": " +
-                  Slots[I].Error);
-    Results.push_back(Slots[I].Result);
-    TotalSteps += Slots[I].Steps;
+  Metrics = RuntimeMetrics();
+  Metrics.ThreadsSpawned = Work.size();
+  Metrics.WatchdogFired = WatchdogFired ? 1 : 0;
+  Metrics.HeapObjects = TheHeap.size();
+  Metrics.WallMicros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Started)
+          .count());
+  for (const Slot &S : Slots) {
+    Metrics.mergeThread(S.Stats);
+    switch (S.Out) {
+    case Outcome::Finished:
+      ++Metrics.ThreadsFinished;
+      break;
+    case Outcome::Cancelled:
+      ++Metrics.ThreadsCancelled;
+      break;
+    case Outcome::Errored:
+      ++Metrics.ThreadsErrored;
+      break;
+    }
   }
+  Channels.collectMetrics(Metrics);
+
+  // Report every failed thread, not just the first.
+  std::string Errors;
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    if (Slots[I].Out != Outcome::Errored)
+      continue;
+    if (!Errors.empty())
+      Errors += "; ";
+    Errors += "parallel thread " + std::to_string(I) + ": " +
+              Slots[I].Error;
+  }
+  if (WatchdogFired) {
+    std::string Msg = "watchdog: run exceeded " +
+                      std::to_string(Opts.WatchdogMillis) + "ms with " +
+                      std::to_string(Metrics.ThreadsCancelled) +
+                      " thread(s) unfinished; aborted";
+    Errors = Errors.empty() ? Msg : Msg + "; " + Errors;
+  }
+  if (!Errors.empty())
+    return fail(Errors);
+
+  std::vector<Value> Results;
+  for (const Slot &S : Slots)
+    Results.push_back(S.Result);
   return Results;
 }

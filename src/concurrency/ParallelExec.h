@@ -12,6 +12,14 @@
 /// no locks — that is fearless concurrency: the type system already
 /// guarantees threads touch disjoint parts of the heap.
 ///
+/// Shutdown protocol: when every thread that could still send has
+/// finished, the channel set closes cleanly and threads blocked in recv
+/// stop as *cancelled* rather than deadlocking run() (see Channel.h). A
+/// thread error or the optional watchdog aborts the run instead, waking
+/// every blocked receiver; all thread errors are reported, not just the
+/// first. Per-thread counters are aggregated into a RuntimeMetrics
+/// registry at join.
+///
 /// Used by bench_concurrency (E7) and the message-passing example.
 ///
 //===----------------------------------------------------------------------===//
@@ -24,25 +32,44 @@
 #include "runtime/Heap.h"
 #include "runtime/Interp.h"
 #include "support/Expected.h"
+#include "support/Metrics.h"
 
 namespace fearless {
+
+/// Executor configuration.
+struct ParallelExecOptions {
+  /// Wall-clock budget for run(); when exceeded, the run aborts with a
+  /// diagnostic instead of hanging (a genuinely stuck workload — e.g. an
+  /// infinite loop — is otherwise unobservable from outside). 0 disables
+  /// the watchdog; pure recv deadlocks are already resolved by channel
+  /// closure and need no watchdog.
+  uint64_t WatchdogMillis = 0;
+};
 
 /// Runs a set of entry functions on OS threads until all finish.
 class ParallelExec {
 public:
-  explicit ParallelExec(const CheckedProgram &Checked);
+  explicit ParallelExec(const CheckedProgram &Checked,
+                        ParallelExecOptions Opts = {});
 
-  /// Registers a thread that will run \p FnName(\p Args).
+  /// Registers a thread that will run \p FnName(\p Args). Must not be
+  /// called after run().
   void spawn(Symbol FnName, std::vector<Value> Args = {});
 
   /// Launches all registered threads, joins them, and returns their
   /// results (in spawn order). Send without a matching receiver is
-  /// buffered (asynchronous channels); recv blocks. A thread error
-  /// cancels the run.
+  /// buffered (asynchronous channels); recv blocks. A thread whose recv
+  /// can never be satisfied is cancelled cleanly (its result is unit and
+  /// metrics().ThreadsCancelled counts it); a thread error or watchdog
+  /// expiry cancels the run and reports every failed thread. May be
+  /// called at most once per executor.
   Expected<std::vector<Value>> run();
 
   Heap &heap() { return TheHeap; }
-  uint64_t totalSteps() const { return TotalSteps; }
+  uint64_t totalSteps() const { return Metrics.Steps; }
+
+  /// Aggregated counters of the last run (valid after run() returns).
+  const RuntimeMetrics &metrics() const { return Metrics; }
 
 private:
   struct Entry {
@@ -51,10 +78,12 @@ private:
   };
 
   const CheckedProgram &Checked;
+  ParallelExecOptions Opts;
   Heap TheHeap;
   ChannelSet Channels;
   std::vector<Entry> Entries;
-  uint64_t TotalSteps = 0;
+  RuntimeMetrics Metrics;
+  bool Ran = false;
 };
 
 } // namespace fearless

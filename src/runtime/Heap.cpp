@@ -6,10 +6,22 @@
 
 #include "runtime/Heap.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <unordered_set>
 
 using namespace fearless;
+
+void Heap::heapFault(Loc L) const {
+  std::fprintf(stderr,
+               "fearless runtime: invalid heap access: %s (heap holds "
+               "%zu of at most %zu objects); aborting\n",
+               L.isValid() ? ("loc#" + std::to_string(L.Index)).c_str()
+                           : "invalid location",
+               size(), capacity());
+  std::abort();
+}
 
 Heap::Heap(const StructTable &Structs, size_t MaxObjects)
     : Structs(Structs) {
@@ -20,14 +32,16 @@ Heap::Heap(const StructTable &Structs, size_t MaxObjects)
 
 Loc Heap::allocate(Symbol StructName) {
   const StructInfo *Info = Structs.lookup(StructName);
-  assert(Info && "allocating an unknown struct");
+  if (!Info)
+    return Loc::invalid(); // unknown struct: nothing sane to build
 
   uint32_t Index;
   {
     std::lock_guard<std::mutex> Lock(AllocMutex);
     Index = Count.load(std::memory_order_relaxed);
     uint32_t Block = Index >> BlockShift;
-    assert(Block < BlockStorage.size() && "heap exhausted");
+    if (Block >= BlockStorage.size())
+      return Loc::invalid(); // heap exhausted: a real, checkable outcome
     if (!BlockStorage[Block])
       BlockStorage[Block] = std::make_unique<Object[]>(BlockSize);
 

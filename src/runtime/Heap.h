@@ -57,15 +57,22 @@ public:
   /// Allocates an instance of \p StructName with default field values:
   /// maybe fields none, primitives zero/false/unit, and non-maybe non-iso
   /// same-struct fields a self-reference (the size-1 circular list shape
-  /// of Fig. 3). Thread-safe.
+  /// of Fig. 3). Thread-safe. Returns Loc::invalid() when the heap is
+  /// exhausted or the struct is unknown — callers surface a diagnostic
+  /// instead of writing out of bounds.
   Loc allocate(Symbol StructName);
 
+  /// Accessors bound-check in release builds too: an out-of-range
+  /// location aborts with a diagnostic (see heapFault) rather than
+  /// silently reading or writing foreign memory.
   Object &get(Loc L) {
-    assert(L.isValid() && L.Index < size() && "bad location");
+    if (!L.isValid() || L.Index >= size())
+      heapFault(L);
     return Blocks[L.Index >> BlockShift][L.Index & (BlockSize - 1)];
   }
   const Object &get(Loc L) const {
-    assert(L.isValid() && L.Index < size() && "bad location");
+    if (!L.isValid() || L.Index >= size())
+      heapFault(L);
     return Blocks[L.Index >> BlockShift][L.Index & (BlockSize - 1)];
   }
 
@@ -81,6 +88,8 @@ public:
   }
 
   size_t size() const { return Count.load(std::memory_order_acquire); }
+  /// Maximum number of objects this heap can ever hold.
+  size_t capacity() const { return BlockStorage.size() * BlockSize; }
   const StructTable &structs() const { return Structs; }
 
   /// Collects every location reachable from \p Root following *all*
@@ -92,6 +101,10 @@ public:
   std::vector<uint32_t> recomputeRefCounts() const;
 
 private:
+  /// Reports an invalid heap access and aborts; never returns. Kept out
+  /// of line so the accessors stay small.
+  [[noreturn]] void heapFault(Loc L) const;
+
   static constexpr uint32_t BlockShift = 12;
   static constexpr uint32_t BlockSize = 1u << BlockShift;
 

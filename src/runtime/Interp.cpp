@@ -79,10 +79,19 @@ private:
   }
 
   Loc allocateDefault(Symbol StructName) {
-    ++S.Stats->Allocations;
     Loc L = S.TheHeap->allocate(StructName);
+    if (!L.isValid())
+      return L; // heap exhausted; the caller reports
+    ++S.Stats->Allocations;
     T.Reservation.insert(L.Index);
     return L;
+  }
+
+  StepOutcome heapExhausted() {
+    return stuck("heap exhausted: allocation failed at " +
+                 std::to_string(S.TheHeap->size()) + " live objects "
+                 "(capacity " + std::to_string(S.TheHeap->capacity()) +
+                 ")");
   }
 
   //===--------------------------------------------------------------------===
@@ -171,7 +180,10 @@ private:
     case ExprKind::New: {
       const auto &N = cast<NewExpr>(E);
       if (N.Args.empty()) {
-        produce(Value::locVal(allocateDefault(N.StructName)));
+        Loc L = allocateDefault(N.StructName);
+        if (!L.isValid())
+          return heapExhausted();
+        produce(Value::locVal(L));
         return StepOutcome::Progress;
       }
       T.Konts.push_back(frames::NewArgs{&N, {}});
@@ -241,6 +253,9 @@ private:
                                 : checkDisconnectedRefCount(*S.TheHeap, A,
                                                             B);
     S.Stats->DisconnectObjectsVisited += Out.ObjectsVisited;
+    S.Stats->DisconnectEdgesTraversed += Out.EdgesTraversed;
+    if (Out.Disconnected)
+      ++S.Stats->DisconnectTaken;
     evaluate(Out.Disconnected ? E.Then.get() : E.Else.get());
     return StepOutcome::Progress;
   }
@@ -458,9 +473,9 @@ private:
         evaluate(N->Args[Next].get());
         return StepOutcome::Progress;
       }
-      ++S.Stats->Allocations;
-      Loc L = S.TheHeap->allocate(Args.N->StructName);
-      T.Reservation.insert(L.Index);
+      Loc L = allocateDefault(Args.N->StructName);
+      if (!L.isValid())
+        return heapExhausted();
       const Object &O = S.TheHeap->get(L);
       // Full form (one argument per field) or required form (one per
       // non-defaultable field).

@@ -22,6 +22,7 @@
 #include "ast/Ast.h"
 #include "runtime/Heap.h"
 #include "runtime/Value.h"
+#include "support/Metrics.h"
 
 #include <map>
 #include <string>
@@ -147,15 +148,9 @@ struct ThreadState {
 enum class StepOutcome { Progress, Finished, BlockedSend, BlockedRecv,
                          Stuck };
 
-/// Counters shared by all threads of a machine.
-struct MachineStats {
-  uint64_t Steps = 0;
-  uint64_t ReservationChecks = 0;
-  uint64_t DisconnectChecks = 0;
-  uint64_t DisconnectObjectsVisited = 0;
-  uint64_t Sends = 0;
-  uint64_t Allocations = 0;
-};
+// MachineStats (the per-thread counters every step updates) lives in
+// support/Metrics.h next to the RuntimeMetrics registry that aggregates
+// it at join.
 
 /// Services a stepping thread needs from its machine.
 struct InterpServices {

@@ -46,6 +46,9 @@ void Machine::startThread(ThreadId Id, Symbol FnName,
 Loc Machine::hostAlloc(ThreadId T, Symbol StructName) {
   assert(T < Threads.size() && "bad thread id");
   Loc L = TheHeap.allocate(StructName);
+  assert(L.isValid() && "hostAlloc: unknown struct or heap exhausted");
+  if (!L.isValid())
+    return L;
   Threads[T].Reservation.insert(L.Index);
   ++Stats.Allocations;
   return L;
@@ -120,6 +123,7 @@ bool Machine::tryCommunicate(std::string &Error) {
         }
       }
       ++Stats.Sends;
+      ++Stats.Recvs; // pairing delivers both halves at once
 
       // Sender resumes with unit; receiver resumes with the root.
       Sender.ControlValue = Value::unitVal();
@@ -133,6 +137,20 @@ bool Machine::tryCommunicate(std::string &Error) {
     }
   }
   return false;
+}
+
+RuntimeMetrics Machine::metrics() const {
+  RuntimeMetrics M;
+  M.mergeThread(Stats);
+  M.ThreadsSpawned = Threads.size();
+  for (const ThreadState &T : Threads) {
+    if (T.Status == ThreadStatus::Finished)
+      ++M.ThreadsFinished;
+    else if (T.Status == ThreadStatus::Failed)
+      ++M.ThreadsErrored;
+  }
+  M.HeapObjects = TheHeap.size();
+  return M;
 }
 
 Expected<MachineSummary> Machine::run(uint64_t Seed) {

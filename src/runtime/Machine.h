@@ -25,6 +25,7 @@
 #include "runtime/Heap.h"
 #include "runtime/Interp.h"
 #include "support/Expected.h"
+#include "support/Metrics.h"
 
 #include <deque>
 #include <functional>
@@ -99,6 +100,9 @@ public:
   Heap &heap() { return TheHeap; }
   const Heap &heap() const { return TheHeap; }
   const MachineStats &stats() const { return Stats; }
+  /// Aggregated counters in the common RuntimeMetrics schema (the same
+  /// registry the real-thread executor reports).
+  RuntimeMetrics metrics() const;
   const std::vector<ThreadState> &threads() const { return Threads; }
   bool inReservation(ThreadId T, Loc L) const {
     return Threads[T].Reservation.count(L.Index) != 0;

@@ -1,0 +1,62 @@
+//===- support/Metrics.cpp ------------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+using namespace fearless;
+
+void RuntimeMetrics::mergeThread(const MachineStats &S) {
+  Steps += S.Steps;
+  Sends += S.Sends;
+  Recvs += S.Recvs;
+  Allocations += S.Allocations;
+  ReservationChecks += S.ReservationChecks;
+  DisconnectChecks += S.DisconnectChecks;
+  DisconnectTaken += S.DisconnectTaken;
+  DisconnectObjectsVisited += S.DisconnectObjectsVisited;
+  DisconnectEdgesTraversed += S.DisconnectEdgesTraversed;
+}
+
+void RuntimeMetrics::forEach(
+    const std::function<void(const char *, uint64_t)> &Fn) const {
+  Fn("steps", Steps);
+  Fn("sends", Sends);
+  Fn("recvs", Recvs);
+  Fn("allocations", Allocations);
+  Fn("reservation_checks", ReservationChecks);
+  Fn("disconnect_checks", DisconnectChecks);
+  Fn("disconnect_taken", DisconnectTaken);
+  Fn("disconnect_objects_visited", DisconnectObjectsVisited);
+  Fn("disconnect_edges_traversed", DisconnectEdgesTraversed);
+  Fn("threads_spawned", ThreadsSpawned);
+  Fn("threads_finished", ThreadsFinished);
+  Fn("threads_cancelled", ThreadsCancelled);
+  Fn("threads_errored", ThreadsErrored);
+  Fn("heap_objects", HeapObjects);
+  Fn("wall_micros", WallMicros);
+  Fn("watchdog_fired", WatchdogFired);
+  Fn("channels_created", ChannelsCreated);
+  Fn("channel_sends", ChannelSends);
+  Fn("channel_recvs", ChannelRecvs);
+  Fn("channel_peak_depth", ChannelPeakDepth);
+  Fn("channel_dropped_values", ChannelDroppedValues);
+}
+
+std::string RuntimeMetrics::toJson() const {
+  std::string Out = "{";
+  bool First = true;
+  forEach([&](const char *Name, uint64_t V) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += '"';
+    Out += Name;
+    Out += "\": ";
+    Out += std::to_string(V);
+  });
+  Out += "}";
+  return Out;
+}

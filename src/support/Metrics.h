@@ -1,0 +1,93 @@
+//===- support/Metrics.h - Runtime metrics registry -------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime observability layer: cheap per-thread counters
+/// (MachineStats) that every stepping thread updates without
+/// synchronization, and the RuntimeMetrics registry that aggregates them
+/// at join together with executor- and channel-level counters. The
+/// registry renders to single-line JSON with stable keys so bench runs
+/// and `fearlessc --metrics` output stay comparable across revisions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_SUPPORT_METRICS_H
+#define FEARLESS_SUPPORT_METRICS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fearless {
+
+/// Per-thread interpreter counters. Each thread owns one instance and
+/// updates it lock-free; a machine aggregates them at join.
+struct MachineStats {
+  uint64_t Steps = 0;
+  uint64_t ReservationChecks = 0;
+  uint64_t DisconnectChecks = 0;
+  /// `if disconnected` checks that actually found the graphs disjoint.
+  uint64_t DisconnectTaken = 0;
+  uint64_t DisconnectObjectsVisited = 0;
+  uint64_t DisconnectEdgesTraversed = 0;
+  uint64_t Sends = 0;
+  uint64_t Recvs = 0;
+  uint64_t Allocations = 0;
+};
+
+/// Aggregated counters for one runtime execution (one Machine::run or
+/// ParallelExec::run). Interpreter counters are merged from the
+/// per-thread MachineStats at join; executor and channel counters are
+/// filled in by the owning machine.
+struct RuntimeMetrics {
+  // Interpreter counters (sum over threads).
+  uint64_t Steps = 0;
+  uint64_t Sends = 0;
+  uint64_t Recvs = 0;
+  uint64_t Allocations = 0;
+  uint64_t ReservationChecks = 0;
+  uint64_t DisconnectChecks = 0;
+  uint64_t DisconnectTaken = 0;
+  uint64_t DisconnectObjectsVisited = 0;
+  uint64_t DisconnectEdgesTraversed = 0;
+
+  // Executor counters.
+  uint64_t ThreadsSpawned = 0;
+  uint64_t ThreadsFinished = 0;
+  /// Threads stopped cleanly mid-recv because every possible sender had
+  /// already finished (channel closure), or cancelled by an abort.
+  uint64_t ThreadsCancelled = 0;
+  uint64_t ThreadsErrored = 0;
+  /// Objects in the heap when the run ended.
+  uint64_t HeapObjects = 0;
+  uint64_t WallMicros = 0;
+  /// 1 when the watchdog had to abort the run.
+  uint64_t WatchdogFired = 0;
+
+  // Channel counters (real-thread executor only).
+  uint64_t ChannelsCreated = 0;
+  uint64_t ChannelSends = 0;
+  uint64_t ChannelRecvs = 0;
+  /// Highest queue depth observed on any single channel.
+  uint64_t ChannelPeakDepth = 0;
+  /// Values discarded because they were sent into a closing run.
+  uint64_t ChannelDroppedValues = 0;
+
+  /// Accumulates one thread's interpreter counters (called at join).
+  void mergeThread(const MachineStats &S);
+
+  /// Visits every counter as a (name, value) pair in a stable order.
+  void forEach(
+      const std::function<void(const char *, uint64_t)> &Fn) const;
+
+  /// Renders the metrics as a single-line JSON object with stable keys,
+  /// suitable for BENCH_*.json side files.
+  std::string toJson() const;
+};
+
+} // namespace fearless
+
+#endif // FEARLESS_SUPPORT_METRICS_H

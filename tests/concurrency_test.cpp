@@ -185,6 +185,172 @@ TEST(Concurrency, ParallelExecutorMatchesAbstractMachine) {
   EXPECT_EQ((*R)[1], Value::intVal(8 * 120));
 }
 
+//===----------------------------------------------------------------------===//
+// Shutdown protocol
+//===----------------------------------------------------------------------===//
+
+TEST(Concurrency, ProducerFinishesWhileConsumerStillBlocked) {
+  // Deadlock regression: the producer sends 5 items and exits while the
+  // consumer wants 100. Channel closure (last potential sender gone) must
+  // cancel the consumer cleanly instead of hanging run() forever or
+  // reporting a spurious "channel closed while receiving" error. The
+  // watchdog is only a safety net so a protocol bug fails the test
+  // instead of hanging it.
+  Pipeline P = mustCompile(programs::MessagePassing);
+  ParallelExecOptions O;
+  O.WatchdogMillis = 10'000;
+  ParallelExec Exec(P.Checked, O);
+  Exec.spawn(sym(P, "producer"), {Value::intVal(5)});
+  Exec.spawn(sym(P, "consumer"), {Value::intVal(100)});
+  Expected<std::vector<Value>> R = Exec.run();
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  const RuntimeMetrics &M = Exec.metrics();
+  EXPECT_EQ(M.ThreadsFinished, 1u);
+  EXPECT_EQ(M.ThreadsCancelled, 1u);
+  EXPECT_EQ(M.ThreadsErrored, 0u);
+  EXPECT_EQ(M.ChannelSends, 5u);
+  EXPECT_EQ(M.ChannelRecvs, 5u); // all sent items were still consumed
+  EXPECT_EQ(M.WatchdogFired, 0u);
+}
+
+TEST(Concurrency, ConsumerWithNoProducerIsCancelledNotDeadlocked) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  ParallelExecOptions O;
+  O.WatchdogMillis = 10'000;
+  ParallelExec Exec(P.Checked, O);
+  Exec.spawn(sym(P, "consumer"), {Value::intVal(1)});
+  Expected<std::vector<Value>> R = Exec.run();
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  EXPECT_EQ(Exec.metrics().ThreadsCancelled, 1u);
+  EXPECT_EQ(Exec.metrics().WatchdogFired, 0u);
+}
+
+TEST(Concurrency, LateCreatedChannelsAreBornClosed) {
+  // The old closeAll() raced channel creation: a channel materialized
+  // after the close stayed open forever. Channels created after shutdown
+  // must be born in the shutdown state.
+  ChannelSet S;
+  S.registerThreads(1);
+  S.threadFinished(); // quiescent: clean shutdown
+  Value V;
+  EXPECT_EQ(S.channelFor(Type::intTy()).recv(V), RecvResult::Closed);
+
+  ChannelSet S2;
+  S2.abortAll();
+  EXPECT_EQ(S2.channelFor(Type::boolTy()).recv(V), RecvResult::Aborted);
+}
+
+TEST(Concurrency, ClosedChannelDrainsBeforeStopping) {
+  // Closed is a *clean* state: what was sent before the close is still
+  // delivered; only then do receivers observe Closed.
+  ChannelSet S;
+  S.registerThreads(1); // one sender keeps the set from quiescing
+  ValueChannel &C = S.channelFor(Type::intTy());
+  C.send(Value::intVal(1));
+  C.send(Value::intVal(2));
+  S.closeAll();
+  Value V;
+  ASSERT_EQ(C.recv(V), RecvResult::Ok);
+  EXPECT_EQ(V, Value::intVal(1));
+  ASSERT_EQ(C.recv(V), RecvResult::Ok);
+  EXPECT_EQ(V, Value::intVal(2));
+  EXPECT_EQ(C.recv(V), RecvResult::Closed);
+}
+
+TEST(Concurrency, AbortedChannelDiscardsQueuedValues) {
+  ChannelSet S;
+  S.registerThreads(1);
+  ValueChannel &C = S.channelFor(Type::intTy());
+  C.send(Value::intVal(1));
+  S.abortAll();
+  Value V;
+  EXPECT_EQ(C.recv(V), RecvResult::Aborted);
+  // Sends into an aborted run are dropped, not queued.
+  C.send(Value::intVal(2));
+  EXPECT_EQ(C.sizeApprox(), 0u);
+  RuntimeMetrics M;
+  S.collectMetrics(M);
+  EXPECT_EQ(M.ChannelDroppedValues, 1u);
+}
+
+TEST(Concurrency, WatchdogAbortsSpinningRun) {
+  // An infinite loop never blocks, so channel closure cannot help; the
+  // watchdog must turn the hang into a diagnostic.
+  std::string Source = std::string(programs::MessagePassing) + R"prog(
+def spin() : int {
+  let i = 0;
+  while (i < 1) { i = i - 1 };
+  i
+}
+)prog";
+  Pipeline P = mustCompile(Source);
+  ParallelExecOptions O;
+  O.WatchdogMillis = 100;
+  ParallelExec Exec(P.Checked, O);
+  Exec.spawn(sym(P, "spin"));
+  Expected<std::vector<Value>> R = Exec.run();
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().Message.find("watchdog"), std::string::npos);
+  EXPECT_EQ(Exec.metrics().WatchdogFired, 1u);
+  EXPECT_EQ(Exec.metrics().ThreadsCancelled, 1u);
+}
+
+TEST(Concurrency, FailedThreadErrorsAllPropagate) {
+  // A failing thread aborts the run; blocked peers are cancelled, not
+  // blamed. Every *real* error is reported (the old executor kept only
+  // the first slot's).
+  std::string Source = std::string(programs::MessagePassing) + R"prog(
+def crash(a : int) : int { 10 / a }
+)prog";
+  Pipeline P = mustCompile(Source);
+  ParallelExec Exec(P.Checked);
+  Exec.spawn(sym(P, "crash"), {Value::intVal(0)});
+  Exec.spawn(sym(P, "consumer"), {Value::intVal(1)}); // blocks on recv
+  Expected<std::vector<Value>> R = Exec.run();
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.error().Message.find("division by zero"),
+            std::string::npos);
+  // The blocked consumer was aborted, not mis-reported as an error.
+  EXPECT_EQ(R.error().Message.find("channel closed"), std::string::npos);
+  EXPECT_EQ(Exec.metrics().ThreadsErrored, 1u);
+  EXPECT_EQ(Exec.metrics().ThreadsCancelled, 1u);
+}
+
+TEST(Concurrency, RunIsSingleUse) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  ParallelExec Exec(P.Checked);
+  Exec.spawn(sym(P, "producer"), {Value::intVal(1)});
+  Exec.spawn(sym(P, "consumer"), {Value::intVal(1)});
+  ASSERT_TRUE(Exec.run().hasValue());
+  Expected<std::vector<Value>> Again = Exec.run();
+  ASSERT_FALSE(Again.hasValue());
+  EXPECT_NE(Again.error().Message.find("at most once"),
+            std::string::npos);
+}
+
+TEST(Concurrency, MetricsAggregateAcrossThreads) {
+  Pipeline P = mustCompile(programs::MessagePassing);
+  ParallelExec Exec(P.Checked);
+  Exec.spawn(sym(P, "producer"), {Value::intVal(10)});
+  Exec.spawn(sym(P, "consumer"), {Value::intVal(10)});
+  ASSERT_TRUE(Exec.run().hasValue());
+  const RuntimeMetrics &M = Exec.metrics();
+  EXPECT_EQ(M.ThreadsSpawned, 2u);
+  EXPECT_EQ(M.ThreadsFinished, 2u);
+  EXPECT_EQ(M.Sends, 10u);
+  EXPECT_EQ(M.Recvs, 10u);
+  EXPECT_EQ(M.ChannelSends, 10u);
+  EXPECT_EQ(M.ChannelRecvs, 10u);
+  EXPECT_EQ(M.Allocations, 10u); // one `data` per item
+  EXPECT_EQ(M.HeapObjects, 10u);
+  EXPECT_GT(M.Steps, 0u);
+  EXPECT_GE(M.ChannelPeakDepth, 1u);
+  // The same counters flow through the JSON rendering.
+  std::string Json = M.toJson();
+  EXPECT_NE(Json.find("\"sends\": 10"), std::string::npos);
+  EXPECT_NE(Json.find("\"threads_finished\": 2"), std::string::npos);
+}
+
 TEST(Concurrency, ParallelManyThreads) {
   Pipeline P = mustCompile(programs::MessagePassing);
   ParallelExec Exec(P.Checked);

@@ -17,6 +17,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
+#include "parser/Parser.h"
+#include "runtime/Disconnected.h"
 #include "runtime/Invariants.h"
 
 #include <gtest/gtest.h>
@@ -199,6 +201,87 @@ TEST_P(ScheduleTest, PipelineResultIndependentOfSchedule) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleTest,
                          ::testing::Range(uint64_t(0), uint64_t(12)));
+
+//===----------------------------------------------------------------------===//
+// `if disconnected` refcount oracle
+//===----------------------------------------------------------------------===//
+
+class DisconnectOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DisconnectOracleTest, RefCountCheckSoundOnRandomHeaps) {
+  // Random heaps mutated exclusively through Heap::setField. Two oracles:
+  //  - refcount maintenance: the stored counts must equal a from-scratch
+  //    recount after every mutation batch;
+  //  - soundness: checkDisconnectedRefCount must never claim
+  //    "disconnected" when the exact reachability check
+  //    (checkDisconnectedNaive) finds the graphs connected. (The reverse
+  //    direction is allowed: on arbitrary heaps the refcount check is
+  //    conservative — an edge from a third component inflates a stored
+  //    count and reads as "connected".)
+  //
+  // Mutations touch only the non-iso fields: the refcount check
+  // deliberately never follows iso edges (they are region boundaries
+  // under the tempered-domination invariant the type system enforces),
+  // so a heap with arbitrary outgoing iso edges is outside its contract
+  // and the soundness direction would not hold.
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = parseProgram(R"(
+struct node {
+  a : node?;
+  b : node?;
+  iso c : node?;
+}
+)",
+                                             Diags);
+  ASSERT_TRUE(Prog.has_value());
+  StructTable Structs;
+  Structs.build(*Prog, Diags);
+
+  std::mt19937_64 Rng(GetParam());
+  const uint32_t N = 48;
+  Heap H(Structs, N);
+  Symbol NodeSym = Prog->Names.intern("node");
+  std::vector<Loc> Nodes;
+  for (uint32_t I = 0; I < N; ++I) {
+    Loc L = H.allocate(NodeSym);
+    ASSERT_TRUE(L.isValid());
+    Nodes.push_back(L);
+  }
+
+  for (int Round = 0; Round < 60; ++Round) {
+    for (int K = 0; K < 6; ++K) {
+      Loc From = Nodes[Rng() % N];
+      uint32_t Field = Rng() % 2; // a or b; iso c stays none
+      Value To = (Rng() % 4 == 0)
+                     ? Value::noneVal()
+                     : Value::locVal(Nodes[Rng() % N]);
+      H.setField(From, Field, To);
+    }
+
+    // Refcount-maintenance oracle.
+    std::vector<uint32_t> Recount = H.recomputeRefCounts();
+    for (uint32_t I = 0; I < N; ++I)
+      ASSERT_EQ(H.get(Loc{I}).StoredRefCount, Recount[I])
+          << "stored refcount of loc#" << I << " diverged in round "
+          << Round;
+
+    // Soundness oracle against the exact check.
+    Loc A = Nodes[Rng() % N];
+    Loc B = Nodes[Rng() % N];
+    DisconnectOutcome Fast = checkDisconnectedRefCount(H, A, B);
+    DisconnectOutcome Exact = checkDisconnectedNaive(H, A, B);
+    if (Fast.Disconnected) {
+      EXPECT_TRUE(Exact.Disconnected)
+          << "refcount check claimed loc#" << A.Index << " and loc#"
+          << B.Index << " disjoint but they are connected (round "
+          << Round << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisconnectOracleTest,
+                         ::testing::Values(1, 2, 3, 7, 21, 42, 1234,
+                                           987654321));
 
 //===----------------------------------------------------------------------===//
 // Oracle/naive agreement

@@ -133,6 +133,29 @@ def main() : int {
   EXPECT_EQ(R->ThreadResults[0], Value::intVal(5));
 }
 
+TEST(Runtime, HeapExhaustionIsDiagnosedNotUndefined) {
+  // A full heap must refuse the allocation (and the interpreter turn it
+  // into a stuck-state diagnostic), not write past the block directory —
+  // the old assert vanished under NDEBUG.
+  Pipeline P = mustCompile("struct data { value : int; }\n"
+                           "def main() : unit { }");
+  Heap Small(P.Checked.Structs, /*MaxObjects=*/1);
+  Symbol DataSym = sym(P, "data");
+  size_t Capacity = Small.capacity(); // rounds up to one block
+  for (size_t I = 0; I < Capacity; ++I)
+    ASSERT_TRUE(Small.allocate(DataSym).isValid());
+  EXPECT_FALSE(Small.allocate(DataSym).isValid());
+  EXPECT_EQ(Small.size(), Capacity);
+}
+
+TEST(Runtime, AllocatingUnknownStructFailsCleanly) {
+  Pipeline P = mustCompile("struct data { value : int; }\n"
+                           "def main() : unit { }");
+  Heap H(P.Checked.Structs);
+  EXPECT_FALSE(H.allocate(P.Prog->Names.intern("no_such_struct"))
+                   .isValid());
+}
+
 TEST(Runtime, StoredRefCountsFollowFieldAssignment) {
   Machine *M = nullptr;
   auto R = runMain(R"(

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+#===- tools/ci.sh ---------------------------------------------------------===#
+#
+# Part of the fearless-concurrency reproduction.
+#
+#===----------------------------------------------------------------------===#
+#
+# Local CI gate: a regular build + test pass, then the same suite under
+# ThreadSanitizer. The concurrent runtime (ParallelExec, ChannelSet) is the
+# part of this repo most likely to rot silently — TSan keeps the
+# "fearless" claim honest.
+#
+# Usage: tools/ci.sh [extra ctest args...]
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==> [$name] configure"
+  cmake -B "$dir" -S "$ROOT" "$@" >/dev/null
+  echo "==> [$name] build"
+  cmake --build "$dir" -j "$JOBS"
+  echo "==> [$name] test"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${CTEST_ARGS[@]}")
+}
+
+CTEST_ARGS=("$@")
+
+run_pass "default" "$ROOT/build"
+run_pass "tsan" "$ROOT/build-tsan" -DFEARLESS_SANITIZE=thread
+
+echo "==> all passes green"

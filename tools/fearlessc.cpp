@@ -14,7 +14,8 @@
 //                                       (sll | dll | rbtree | message)
 //
 // Options: --no-oracle (naive unification search), --seed N (schedule),
-// --no-checks (erase dynamic reservation checks), --stats.
+// --no-checks (erase dynamic reservation checks), --stats, --metrics
+// (runtime metrics as one JSON line on stdout).
 //
 //===----------------------------------------------------------------------===//
 
@@ -41,7 +42,7 @@ int usage() {
       "  derive <file> <fn>            print fn's typing derivation\n"
       "  dot    <file> <fn>            derivation as a Graphviz digraph\n"
       "  sample <sll|dll|rbtree|message|trie|extras>  print a sample\n"
-      "options: --no-oracle --seed N --no-checks --stats\n");
+      "options: --no-oracle --seed N --no-checks --stats --metrics\n");
   return 2;
 }
 
@@ -58,6 +59,7 @@ struct Options {
   bool UseOracle = true;
   bool Checks = true;
   bool Stats = false;
+  bool Metrics = false;
   uint64_t Seed = 0;
 };
 
@@ -145,6 +147,8 @@ int cmdRun(const char *Path, const char *Fn,
                 static_cast<unsigned long long>(M.stats().Allocations),
                 static_cast<unsigned long long>(
                     M.stats().DisconnectChecks));
+  if (Opts.Metrics)
+    std::printf("%s\n", M.metrics().toJson().c_str());
   return 0;
 }
 
@@ -235,6 +239,8 @@ int main(int argc, char **argv) {
       Opts.Checks = false;
     else if (!std::strcmp(argv[I], "--stats"))
       Opts.Stats = true;
+    else if (!std::strcmp(argv[I], "--metrics"))
+      Opts.Metrics = true;
     else if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
       Opts.Seed = std::strtoull(argv[++I], nullptr, 10);
     else
