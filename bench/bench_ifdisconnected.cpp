@@ -12,7 +12,14 @@
 //  - Detaching a k-object subgraph: O(k) vs O(n).
 //  - The "buggy" case (arguments still connected): the interleaved
 //    traversal still terminates after O(min-side) work — the paper's
-//    claim that buggy uses cost nearly nothing extra.
+//    claim that buggy uses cost nearly nothing extra. The
+//    `losing_side_visited` counter tracks the objects expanded on the
+//    large (losing) side, making that claim a number instead of prose.
+//
+// Every benchmark drives the checks through one reused DisconnectScratch
+// (exactly how the interpreter's per-thread scratch behaves), and the
+// binary replaces global operator new to export `allocs_per_iter`: the
+// steady-state allocation count per check, which must be 0.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +29,31 @@
 #include "sema/StructTable.h"
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+//===----------------------------------------------------------------------===//
+// Global allocation counter: proves the scratch-reuse paths are
+// allocation-free in steady state (BENCH_*.json tracks allocs_per_iter).
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<uint64_t> GHeapAllocs{0};
+} // namespace
+
+void *operator new(std::size_t Size) {
+  GHeapAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+void *operator new[](std::size_t Size) { return ::operator new(Size); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
 
 using namespace fearless;
 
@@ -36,6 +68,9 @@ struct Workload {
   Loc RegionRoot;   // root of the n-node ring
   Loc DetachedRoot; // root of the k-node ring
   Symbol NextSym, PrevSym;
+  /// Reused across every check in the benchmark loop, mirroring the
+  /// interpreter's per-thread scratch ownership.
+  DisconnectScratch Scratch;
 
   Workload(size_t N, size_t K, bool Connected) {
     DiagnosticEngine Diags;
@@ -78,20 +113,47 @@ struct node {
   }
 };
 
+/// Runs \p Check once to warm the scratch, then measures the loop with
+/// the allocation counter armed; exports visited/edge/allocation
+/// counters. \p Check runs with A = the detached root and B = the region
+/// root, so ObjectsVisitedB is the work spent on the big (in the buggy
+/// case: losing) side.
+template <typename CheckFn>
+void runCheckLoop(benchmark::State &State, Workload &W, CheckFn Check) {
+  DisconnectOutcome Last = Check(W); // warm-up: grows the scratch tables
+  uint64_t AllocsBefore = GHeapAllocs.load(std::memory_order_relaxed);
+  for (auto _ : State) {
+    DisconnectOutcome Out = Check(W);
+    benchmark::DoNotOptimize(Out.Disconnected);
+    Last = Out;
+  }
+  uint64_t AllocsInLoop =
+      GHeapAllocs.load(std::memory_order_relaxed) - AllocsBefore;
+  State.counters["visited"] = static_cast<double>(Last.ObjectsVisited);
+  State.counters["edges"] = static_cast<double>(Last.EdgesTraversed);
+  State.counters["losing_side_visited"] =
+      static_cast<double>(Last.ObjectsVisitedB);
+  State.counters["allocs_per_iter"] =
+      State.iterations()
+          ? static_cast<double>(AllocsInLoop) /
+                static_cast<double>(State.iterations())
+          : 0.0;
+}
+
+DisconnectOutcome refCount(Workload &W) {
+  return checkDisconnectedRefCount(*W.TheHeap, W.DetachedRoot,
+                                   W.RegionRoot, W.Scratch);
+}
+
+DisconnectOutcome naive(Workload &W) {
+  return checkDisconnectedNaive(*W.TheHeap, W.DetachedRoot, W.RegionRoot,
+                                W.Scratch);
+}
+
 void BM_RefCount_DetachSmall(benchmark::State &State) {
   size_t N = static_cast<size_t>(State.range(0));
   Workload W(N, /*K=*/1, /*Connected=*/false);
-  size_t Visited = 0;
-  size_t Edges = 0;
-  for (auto _ : State) {
-    DisconnectOutcome Out = checkDisconnectedRefCount(
-        *W.TheHeap, W.DetachedRoot, W.RegionRoot);
-    benchmark::DoNotOptimize(Out.Disconnected);
-    Visited = Out.ObjectsVisited;
-    Edges = Out.EdgesTraversed;
-  }
-  State.counters["visited"] = static_cast<double>(Visited);
-  State.counters["edges"] = static_cast<double>(Edges);
+  runCheckLoop(State, W, refCount);
   State.counters["region_size"] = static_cast<double>(N);
 }
 BENCHMARK(BM_RefCount_DetachSmall)
@@ -104,17 +166,7 @@ BENCHMARK(BM_RefCount_DetachSmall)
 void BM_Naive_DetachSmall(benchmark::State &State) {
   size_t N = static_cast<size_t>(State.range(0));
   Workload W(N, /*K=*/1, /*Connected=*/false);
-  size_t Visited = 0;
-  size_t Edges = 0;
-  for (auto _ : State) {
-    DisconnectOutcome Out =
-        checkDisconnectedNaive(*W.TheHeap, W.DetachedRoot, W.RegionRoot);
-    benchmark::DoNotOptimize(Out.Disconnected);
-    Visited = Out.ObjectsVisited;
-    Edges = Out.EdgesTraversed;
-  }
-  State.counters["visited"] = static_cast<double>(Visited);
-  State.counters["edges"] = static_cast<double>(Edges);
+  runCheckLoop(State, W, naive);
   State.counters["region_size"] = static_cast<double>(N);
 }
 BENCHMARK(BM_Naive_DetachSmall)
@@ -127,17 +179,7 @@ BENCHMARK(BM_Naive_DetachSmall)
 void BM_RefCount_DetachSubgraph(benchmark::State &State) {
   size_t K = static_cast<size_t>(State.range(0));
   Workload W(/*N=*/1 << 18, K, /*Connected=*/false);
-  size_t Visited = 0;
-  size_t Edges = 0;
-  for (auto _ : State) {
-    DisconnectOutcome Out = checkDisconnectedRefCount(
-        *W.TheHeap, W.DetachedRoot, W.RegionRoot);
-    benchmark::DoNotOptimize(Out.Disconnected);
-    Visited = Out.ObjectsVisited;
-    Edges = Out.EdgesTraversed;
-  }
-  State.counters["visited"] = static_cast<double>(Visited);
-  State.counters["edges"] = static_cast<double>(Edges);
+  runCheckLoop(State, W, refCount);
   State.counters["detached_size"] = static_cast<double>(K);
 }
 BENCHMARK(BM_RefCount_DetachSubgraph)
@@ -149,20 +191,11 @@ BENCHMARK(BM_RefCount_DetachSubgraph)
 void BM_RefCount_BuggyStillConnected(benchmark::State &State) {
   // The arguments' graphs intersect (the programmer forgot to repoint a
   // field, the Fig. 5 discussion): the interleaved traversal detects the
-  // intersection after exploring only the small side.
+  // intersection after exploring only the small side, so
+  // losing_side_visited must stay O(1) as region_size grows.
   size_t N = static_cast<size_t>(State.range(0));
   Workload W(N, /*K=*/2, /*Connected=*/true);
-  size_t Visited = 0;
-  size_t Edges = 0;
-  for (auto _ : State) {
-    DisconnectOutcome Out = checkDisconnectedRefCount(
-        *W.TheHeap, W.DetachedRoot, W.RegionRoot);
-    benchmark::DoNotOptimize(Out.Disconnected);
-    Visited = Out.ObjectsVisited;
-    Edges = Out.EdgesTraversed;
-  }
-  State.counters["visited"] = static_cast<double>(Visited);
-  State.counters["edges"] = static_cast<double>(Edges);
+  runCheckLoop(State, W, refCount);
   State.counters["region_size"] = static_cast<double>(N);
 }
 BENCHMARK(BM_RefCount_BuggyStillConnected)
@@ -171,19 +204,10 @@ BENCHMARK(BM_RefCount_BuggyStillConnected)
     ->Arg(65536);
 
 void BM_Naive_BuggyStillConnected(benchmark::State &State) {
+  // Baseline: the exact check pays for the whole losing side.
   size_t N = static_cast<size_t>(State.range(0));
   Workload W(N, /*K=*/2, /*Connected=*/true);
-  size_t Visited = 0;
-  size_t Edges = 0;
-  for (auto _ : State) {
-    DisconnectOutcome Out =
-        checkDisconnectedNaive(*W.TheHeap, W.DetachedRoot, W.RegionRoot);
-    benchmark::DoNotOptimize(Out.Disconnected);
-    Visited = Out.ObjectsVisited;
-    Edges = Out.EdgesTraversed;
-  }
-  State.counters["visited"] = static_cast<double>(Visited);
-  State.counters["edges"] = static_cast<double>(Edges);
+  runCheckLoop(State, W, naive);
   State.counters["region_size"] = static_cast<double>(N);
 }
 BENCHMARK(BM_Naive_BuggyStillConnected)->Arg(256)->Arg(4096)->Arg(65536);

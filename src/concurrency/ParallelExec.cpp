@@ -67,6 +67,10 @@ Expected<std::vector<Value>> ParallelExec::run() {
       for (size_t A = 0; A < E.Args.size(); ++A)
         T.Env.emplace_back(Fn->Params[A].Name, E.Args[A]);
       T.ControlExpr = Fn->Body.get();
+      // Pre-size this worker's `if disconnected` scratch to the graphs
+      // built before run(), keeping growth out of the measured region;
+      // the scratch is per-thread, so checks never contend on it.
+      T.Scratch.reserve(TheHeap.size());
 
       // Per-thread counters: lock-free, merged into the metrics registry
       // at join.

@@ -6,51 +6,39 @@
 
 #include "runtime/Disconnected.h"
 
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
-
 using namespace fearless;
 
-namespace {
-
-/// One side of the interleaved traversal over non-iso references.
-struct Side {
-  std::deque<Loc> Frontier;
-  /// Visited objects with the number of times each was *encountered via
-  /// an edge* during this side's traversal (roots start at zero).
-  std::unordered_map<uint32_t, uint32_t> Encounters;
-  bool Exhausted = false;
-
-  explicit Side(Loc Root) {
-    Frontier.push_back(Root);
-    Encounters.emplace(Root.Index, 0);
-  }
-};
-
-} // namespace
-
-DisconnectOutcome fearless::checkDisconnectedRefCount(const Heap &H, Loc A,
-                                                      Loc B) {
+DisconnectOutcome
+fearless::checkDisconnectedRefCount(const Heap &H, Loc A, Loc B,
+                                    DisconnectScratch &Scratch) {
   DisconnectOutcome Out;
   if (!A.isValid() || !B.isValid())
     return Out;
   if (A == B)
     return Out; // trivially intersecting
+  // Validate the roots up front (heapFault on garbage) so the scratch
+  // tables, sized by H.size(), are never indexed out of bounds.
+  (void)H.get(A);
+  (void)H.get(B);
 
-  Side SideA(A);
-  Side SideB(B);
+  Scratch.begin(H.size());
+  DisconnectScratch::Side &SideA = Scratch.side(0);
+  DisconnectScratch::Side &SideB = Scratch.side(1);
+  SideA.seed(A);
+  SideB.seed(B);
 
   // Expand one object from each side alternately until one side's
   // traversal completes or the frontiers intersect.
-  auto Expand = [&](Side &Self, Side &Other) -> bool /*intersected*/ {
-    if (Self.Frontier.empty()) {
+  auto Expand = [&](DisconnectScratch::Side &Self,
+                    DisconnectScratch::Side &Other,
+                    size_t &SideVisited) -> bool /*intersected*/ {
+    if (Self.frontierEmpty()) {
       Self.Exhausted = true;
       return false;
     }
-    Loc L = Self.Frontier.front();
-    Self.Frontier.pop_front();
+    Loc L = Self.popFrontier();
     ++Out.ObjectsVisited;
+    ++SideVisited;
     const Object &O = H.get(L);
     for (const FieldInfo &F : O.Struct->Fields) {
       if (F.Iso)
@@ -61,25 +49,22 @@ DisconnectOutcome fearless::checkDisconnectedRefCount(const Heap &H, Loc A,
         continue;
       ++Out.EdgesTraversed;
       Loc T = V.asLoc();
-      if (Other.Encounters.count(T.Index))
+      if (Other.Mark.contains(T.Index))
         return true; // physical intersection
-      auto [It, Inserted] = Self.Encounters.emplace(T.Index, 0);
-      ++It->second;
-      if (Inserted)
-        Self.Frontier.push_back(T);
+      Self.encounter(T);
     }
     return false;
   };
 
-  Side *Finished = nullptr;
+  DisconnectScratch::Side *Finished = nullptr;
   while (!Finished) {
-    if (Expand(SideA, SideB))
+    if (Expand(SideA, SideB, Out.ObjectsVisitedA))
       return Out; // connected
     if (SideA.Exhausted) {
       Finished = &SideA;
       break;
     }
-    if (Expand(SideB, SideA))
+    if (Expand(SideB, SideA, Out.ObjectsVisitedB))
       return Out; // connected
     if (SideB.Exhausted)
       Finished = &SideB;
@@ -88,44 +73,67 @@ DisconnectOutcome fearless::checkDisconnectedRefCount(const Heap &H, Loc A,
   // The finished (smaller) side is fully explored. Compare its traversal
   // counts with the stored counts: any unexplored non-iso reference into
   // this subgraph would make a stored count exceed the traversal count.
-  for (const auto &[Index, Count] : Finished->Encounters) {
-    if (H.get(Loc{Index}).StoredRefCount != Count)
+  for (uint32_t Index : Finished->Members) {
+    if (H.get(Loc{Index}).StoredRefCount != Finished->Count[Index])
       return Out; // conservatively connected
   }
   Out.Disconnected = true;
   return Out;
 }
 
-DisconnectOutcome fearless::checkDisconnectedNaive(const Heap &H, Loc A,
-                                                   Loc B) {
+DisconnectOutcome
+fearless::checkDisconnectedNaive(const Heap &H, Loc A, Loc B,
+                                 DisconnectScratch &Scratch) {
   DisconnectOutcome Out;
   if (!A.isValid() || !B.isValid())
     return Out;
+  (void)H.get(A);
+  (void)H.get(B);
 
-  auto Reach = [&](Loc Root) {
-    std::unordered_set<uint32_t> Seen{Root.Index};
-    std::deque<Loc> Worklist{Root};
-    while (!Worklist.empty()) {
-      Loc L = Worklist.front();
-      Worklist.pop_front();
+  Scratch.begin(H.size());
+
+  // Full BFS over *all* fields (iso included) into one side's tables.
+  auto Reach = [&](DisconnectScratch::Side &Side, Loc Root,
+                   size_t &SideVisited) {
+    Side.seed(Root);
+    while (!Side.frontierEmpty()) {
+      Loc L = Side.popFrontier();
       ++Out.ObjectsVisited;
+      ++SideVisited;
       const Object &O = H.get(L);
       for (const Value &V : O.Fields) {
         if (!V.isLoc())
           continue;
         ++Out.EdgesTraversed;
-        if (Seen.insert(V.asLoc().Index).second)
-          Worklist.push_back(V.asLoc());
+        Side.encounter(V.asLoc());
       }
     }
-    return Seen;
   };
 
-  std::unordered_set<uint32_t> ReachA = Reach(A);
-  std::unordered_set<uint32_t> ReachB = Reach(B);
-  for (uint32_t Index : ReachB)
-    if (ReachA.count(Index))
+  DisconnectScratch::Side &SideA = Scratch.side(0);
+  DisconnectScratch::Side &SideB = Scratch.side(1);
+  Reach(SideA, A, Out.ObjectsVisitedA);
+  Reach(SideB, B, Out.ObjectsVisitedB);
+  for (uint32_t Index : SideB.Members)
+    if (SideA.Mark.contains(Index))
       return Out;
   Out.Disconnected = true;
   return Out;
+}
+
+// Scratch-less conveniences: one scratch per OS thread, grown once and
+// reused, so even these entry points are allocation-free in steady state.
+static DisconnectScratch &threadLocalScratch() {
+  thread_local DisconnectScratch Scratch;
+  return Scratch;
+}
+
+DisconnectOutcome fearless::checkDisconnectedRefCount(const Heap &H, Loc A,
+                                                      Loc B) {
+  return checkDisconnectedRefCount(H, A, B, threadLocalScratch());
+}
+
+DisconnectOutcome fearless::checkDisconnectedNaive(const Heap &H, Loc A,
+                                                   Loc B) {
+  return checkDisconnectedNaive(H, A, B, threadLocalScratch());
 }

@@ -25,12 +25,21 @@
 /// targets, so no iso edge can be the first point of intersection: the
 /// non-iso-only refcount check is exact, not just sound.
 ///
+/// Both checks run over a caller-provided DisconnectScratch (epoch-
+/// stamped dense visit tables + reusable frontiers; see Scratch.h), so
+/// repeated checks perform no heap allocations once the scratch has grown
+/// to the heap's size — the §5.2 asymptotics are then visible instead of
+/// being drowned by allocator constant factors. The scratch-less
+/// overloads reuse a thread-local scratch and exist for call sites
+/// without a naturally-owned one (tests, host tooling).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FEARLESS_RUNTIME_DISCONNECTED_H
 #define FEARLESS_RUNTIME_DISCONNECTED_H
 
 #include "runtime/Heap.h"
+#include "runtime/Scratch.h"
 
 namespace fearless {
 
@@ -39,12 +48,27 @@ struct DisconnectOutcome {
   bool Disconnected = false;
   size_t ObjectsVisited = 0; ///< Objects expanded by the traversal(s).
   size_t EdgesTraversed = 0;
+  /// Per-argument split of ObjectsVisited: objects expanded while
+  /// standing on A's / B's side of the interleaved traversal. In the
+  /// "buggy code" case (arguments still connected) the larger side is
+  /// the *losing* side — bench_ifdisconnected tracks its count to pin
+  /// down the paper's "buggy uses cost nearly nothing extra" claim.
+  size_t ObjectsVisitedA = 0;
+  size_t ObjectsVisitedB = 0;
 };
 
-/// The efficient §5.2 check.
-DisconnectOutcome checkDisconnectedRefCount(const Heap &H, Loc A, Loc B);
+/// The efficient §5.2 check, running over \p Scratch.
+DisconnectOutcome checkDisconnectedRefCount(const Heap &H, Loc A, Loc B,
+                                            DisconnectScratch &Scratch);
 
-/// The exact full-traversal specification (E15A/E15B).
+/// The exact full-traversal specification (E15A/E15B), over \p Scratch.
+DisconnectOutcome checkDisconnectedNaive(const Heap &H, Loc A, Loc B,
+                                         DisconnectScratch &Scratch);
+
+/// Scratch-less conveniences over a thread-local scratch (allocation-free
+/// in steady state too, but not shareable across call sites that want
+/// deterministic scratch reuse).
+DisconnectOutcome checkDisconnectedRefCount(const Heap &H, Loc A, Loc B);
 DisconnectOutcome checkDisconnectedNaive(const Heap &H, Loc A, Loc B);
 
 } // namespace fearless

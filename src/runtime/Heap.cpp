@@ -8,8 +8,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
-#include <unordered_set>
 
 using namespace fearless;
 
@@ -20,6 +18,17 @@ void Heap::heapFault(Loc L) const {
                L.isValid() ? ("loc#" + std::to_string(L.Index)).c_str()
                            : "invalid location",
                size(), capacity());
+  std::abort();
+}
+
+void Heap::fieldFault(Loc L, uint32_t FieldIndex) const {
+  const Object &O = get(L);
+  std::fprintf(stderr,
+               "fearless runtime: invalid field access: loc#%u.%u, but "
+               "the object's struct (symbol #%u) has %zu fields; "
+               "aborting\n",
+               L.Index, FieldIndex, O.Struct ? O.Struct->Name.Id : 0,
+               O.Fields.size());
   std::abort();
 }
 
@@ -77,7 +86,8 @@ Loc Heap::allocate(Symbol StructName) {
 
 void Heap::setField(Loc L, uint32_t FieldIndex, const Value &V) {
   Object &O = get(L);
-  assert(FieldIndex < O.Fields.size() && "bad field index");
+  if (FieldIndex >= O.Fields.size())
+    fieldFault(L, FieldIndex);
   bool Iso = O.Struct->Fields[FieldIndex].Iso;
   if (!Iso) {
     const Value &Old = O.Fields[FieldIndex];
@@ -94,24 +104,31 @@ void Heap::setField(Loc L, uint32_t FieldIndex, const Value &V) {
 
 std::vector<Loc> Heap::liveSet(Loc Root) const {
   std::vector<Loc> Out;
+  thread_local EpochSet Seen;
+  liveSetInto(Root, Out, Seen);
+  return Out;
+}
+
+void Heap::liveSetInto(Loc Root, std::vector<Loc> &Out,
+                       EpochSet &Seen) const {
+  Out.clear();
   if (!Root.isValid())
-    return Out;
-  std::unordered_set<uint32_t> Seen;
-  std::deque<Loc> Worklist{Root};
+    return;
+  (void)get(Root); // validate before sizing the scratch by the root
+  Seen.begin(size());
   Seen.insert(Root.Index);
-  while (!Worklist.empty()) {
-    Loc L = Worklist.front();
-    Worklist.pop_front();
-    Out.push_back(L);
-    const Object &O = get(L);
+  Out.push_back(Root);
+  // Out doubles as the FIFO worklist: everything before Head is expanded,
+  // everything after is pending, and the whole vector is the result.
+  for (size_t Head = 0; Head < Out.size(); ++Head) {
+    const Object &O = get(Out[Head]);
     for (const Value &V : O.Fields) {
       if (!V.isLoc())
         continue;
-      if (Seen.insert(V.asLoc().Index).second)
-        Worklist.push_back(V.asLoc());
+      if (Seen.insert(V.asLoc().Index))
+        Out.push_back(V.asLoc());
     }
   }
-  return Out;
 }
 
 std::vector<uint32_t> Heap::recomputeRefCounts() const {

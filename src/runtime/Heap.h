@@ -28,6 +28,7 @@
 #ifndef FEARLESS_RUNTIME_HEAP_H
 #define FEARLESS_RUNTIME_HEAP_H
 
+#include "runtime/Scratch.h"
 #include "runtime/Value.h"
 #include "sema/StructTable.h"
 
@@ -77,13 +78,16 @@ public:
   }
 
   /// Writes field \p FieldIndex of \p L, maintaining stored reference
-  /// counts for non-iso location fields.
+  /// counts for non-iso location fields. Like get(), the field index is
+  /// validated in release builds too (fieldFault aborts with a
+  /// diagnostic instead of indexing foreign memory).
   void setField(Loc L, uint32_t FieldIndex, const Value &V);
 
-  /// Reads a field.
+  /// Reads a field (release-build bound-checked, see setField).
   const Value &getField(Loc L, uint32_t FieldIndex) const {
     const Object &O = get(L);
-    assert(FieldIndex < O.Fields.size() && "bad field index");
+    if (FieldIndex >= O.Fields.size())
+      fieldFault(L, FieldIndex);
     return O.Fields[FieldIndex];
   }
 
@@ -96,6 +100,12 @@ public:
   /// fields (the live-set of Fig. 15, used by send).
   std::vector<Loc> liveSet(Loc Root) const;
 
+  /// Allocation-free liveSet: appends the live-set into \p Out (cleared
+  /// first, capacity reused) using \p Seen as the visited set. Out doubles
+  /// as the BFS worklist, so steady-state sends allocate nothing once the
+  /// buffers have grown to the transferred graph's size.
+  void liveSetInto(Loc Root, std::vector<Loc> &Out, EpochSet &Seen) const;
+
   /// Recomputes the stored reference count of every object from scratch;
   /// used by the invariant validators.
   std::vector<uint32_t> recomputeRefCounts() const;
@@ -104,6 +114,8 @@ private:
   /// Reports an invalid heap access and aborts; never returns. Kept out
   /// of line so the accessors stay small.
   [[noreturn]] void heapFault(Loc L) const;
+  /// Reports an out-of-range field index on \p L and aborts.
+  [[noreturn]] void fieldFault(Loc L, uint32_t FieldIndex) const;
 
   static constexpr uint32_t BlockShift = 12;
   static constexpr uint32_t BlockSize = 1u << BlockShift;

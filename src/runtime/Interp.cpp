@@ -248,10 +248,10 @@ private:
       return stuck("reservation violation: 'if disconnected' argument "
                    "outside the reservation");
     ++S.Stats->DisconnectChecks;
-    DisconnectOutcome Out = S.UseNaiveDisconnect
-                                ? checkDisconnectedNaive(*S.TheHeap, A, B)
-                                : checkDisconnectedRefCount(*S.TheHeap, A,
-                                                            B);
+    DisconnectOutcome Out =
+        S.UseNaiveDisconnect
+            ? checkDisconnectedNaive(*S.TheHeap, A, B, T.Scratch)
+            : checkDisconnectedRefCount(*S.TheHeap, A, B, T.Scratch);
     S.Stats->DisconnectObjectsVisited += Out.ObjectsVisited;
     S.Stats->DisconnectEdgesTraversed += Out.EdgesTraversed;
     if (Out.Disconnected)

@@ -21,12 +21,12 @@
 
 #include "ast/Ast.h"
 #include "runtime/Heap.h"
+#include "runtime/Scratch.h"
 #include "runtime/Value.h"
 #include "support/Metrics.h"
 
 #include <map>
 #include <string>
-#include <unordered_set>
 #include <variant>
 #include <vector>
 
@@ -132,8 +132,15 @@ struct ThreadState {
   Value ControlValue;
   bool HasValue = false;
 
-  /// The reservation d (by object index).
-  std::unordered_set<uint32_t> Reservation;
+  /// The reservation d (by object index): epoch-stamped dense membership,
+  /// so the §3.2 dynamic check on every access is a load + compare. Sends
+  /// and receives update it incrementally (Machine::tryCommunicate).
+  ReservationTable Reservation;
+
+  /// Per-thread scratch for `if disconnected`: repeated checks reuse the
+  /// same epoch-stamped tables and perform no heap allocations in steady
+  /// state (§5.2's O(min-side) bound without an allocator tax).
+  DisconnectScratch Scratch;
 
   ThreadStatus Status = ThreadStatus::Runnable;
   Value Result;

@@ -106,9 +106,9 @@ bool Machine::tryCommunicate(std::string &Error) {
       // reservation to the receiver's.
       Value Sent = Sender.PendingSend;
       if (Sent.isLoc()) {
-        std::vector<Loc> Live = TheHeap.liveSet(Sent.asLoc());
+        TheHeap.liveSetInto(Sent.asLoc(), LiveBuf, LiveSeen);
         if (Opts.CheckReservations) {
-          for (Loc L : Live)
+          for (Loc L : LiveBuf)
             if (!Sender.Reservation.count(L.Index)) {
               Error = "send: live-set of " + toString(Sent) +
                       " is not contained in the sender's reservation "
@@ -117,7 +117,9 @@ bool Machine::tryCommunicate(std::string &Error) {
               return false;
             }
         }
-        for (Loc L : Live) {
+        // Incremental reservation handoff: the dense tables stay exact
+        // without any rebuild — membership flips per transferred object.
+        for (Loc L : LiveBuf) {
           Sender.Reservation.erase(L.Index);
           Receiver.Reservation.insert(L.Index);
         }
@@ -172,9 +174,10 @@ Expected<MachineSummary> Machine::run(uint64_t Seed) {
 
   uint64_t Steps = 0;
   size_t RoundRobin = 0;
+  std::vector<size_t> Runnable; // hoisted: reused across scheduler turns
   while (true) {
     // Collect runnable threads.
-    std::vector<size_t> Runnable;
+    Runnable.clear();
     bool AllFinished = true;
     for (size_t I = 0; I < Threads.size(); ++I) {
       if (Threads[I].Status == ThreadStatus::Runnable)

@@ -121,6 +121,10 @@ private:
   Heap TheHeap;
   MachineStats Stats;
   std::vector<ThreadState> Threads;
+  /// Reusable send-path buffers (EC3 live-set transfer): liveSetInto
+  /// clears and refills them, so steady-state sends allocate nothing.
+  std::vector<Loc> LiveBuf;
+  EpochSet LiveSeen;
 };
 
 } // namespace fearless

@@ -19,11 +19,38 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <random>
+
+//===----------------------------------------------------------------------===//
+// Allocation counting: this binary replaces global operator new so tests
+// can assert that the scratch-reuse paths perform zero heap allocations
+// in steady state (the PR-2 acceptance criterion).
+//===----------------------------------------------------------------------===//
+
+static std::atomic<uint64_t> GHeapAllocs{0};
+
+void *operator new(std::size_t Size) {
+  GHeapAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+void *operator new[](std::size_t Size) { return ::operator new(Size); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
 
 using namespace fearless;
 
 namespace {
+
+uint64_t heapAllocs() {
+  return GHeapAllocs.load(std::memory_order_relaxed);
+}
 
 /// A tiny heap world with one struct: node { next, prev: node?; iso item }.
 struct World {
@@ -197,6 +224,95 @@ TEST(Disconnected, RandomGraphsAgreeWithNaive) {
     else
       EXPECT_FALSE(Exact && !Fast &&
                    false) /* conservatism is permitted */;
+  }
+}
+
+TEST(Scratch, SteadyStateChecksAreAllocationFree) {
+  // Once a shared scratch has grown to the heap's size, repeated checks
+  // (both algorithms) and live-set collections must not touch the heap
+  // allocator at all.
+  World W;
+  std::vector<Loc> A = W.chain(64);
+  std::vector<Loc> B = W.chain(7);
+  DisconnectScratch Scratch;
+  std::vector<Loc> Live;
+  EpochSet Seen;
+
+  // Warm-up: grows every table to the heap's current size.
+  (void)checkDisconnectedRefCount(*W.TheHeap, A[0], B[0], Scratch);
+  (void)checkDisconnectedNaive(*W.TheHeap, A[0], B[0], Scratch);
+  W.TheHeap->liveSetInto(A[0], Live, Seen);
+
+  uint64_t Before = heapAllocs();
+  bool AllAgree = true;
+  size_t LiveTotal = 0;
+  for (int I = 0; I < 200; ++I) {
+    DisconnectOutcome Fast =
+        checkDisconnectedRefCount(*W.TheHeap, A[0], B[0], Scratch);
+    DisconnectOutcome Exact =
+        checkDisconnectedNaive(*W.TheHeap, A[0], B[0], Scratch);
+    AllAgree = AllAgree && Fast.Disconnected && Exact.Disconnected;
+    W.TheHeap->liveSetInto(A[0], Live, Seen);
+    LiveTotal += Live.size();
+  }
+  uint64_t Allocated = heapAllocs() - Before;
+  EXPECT_EQ(Allocated, 0u)
+      << "steady-state checks performed heap allocations";
+  EXPECT_TRUE(AllAgree);
+  EXPECT_EQ(LiveTotal, 200u * 64u);
+}
+
+TEST(Scratch, EpochWraparoundStaysCorrect) {
+  // Drive one scratch across the uint32_t epoch wraparound: results must
+  // stay exact on both a disconnected and a connected configuration, and
+  // stale stamps from the pre-wrap generations must not leak in as false
+  // "already visited" marks.
+  World W;
+  std::vector<Loc> A = W.chain(6);
+  std::vector<Loc> B = W.chain(4);
+  std::vector<Loc> C = W.chain(3);
+  W.link(A[5], W.NextSym, C[0]); // A and C connected; B separate
+
+  DisconnectScratch Scratch;
+  // Populate the tables with pre-wrap stamps first.
+  (void)checkDisconnectedRefCount(*W.TheHeap, A[0], B[0], Scratch);
+  Scratch.setEpochForTesting(UINT32_MAX - 3);
+  for (int I = 0; I < 16; ++I) {
+    DisconnectOutcome Disjoint =
+        checkDisconnectedRefCount(*W.TheHeap, A[0], B[0], Scratch);
+    EXPECT_TRUE(Disjoint.Disconnected) << "iteration " << I;
+    DisconnectOutcome Joined =
+        checkDisconnectedRefCount(*W.TheHeap, A[0], C[0], Scratch);
+    EXPECT_FALSE(Joined.Disconnected) << "iteration " << I;
+    DisconnectOutcome NaiveDisjoint =
+        checkDisconnectedNaive(*W.TheHeap, A[0], B[0], Scratch);
+    EXPECT_TRUE(NaiveDisjoint.Disconnected) << "iteration " << I;
+  }
+  // The epoch must have wrapped during the loop (each check begins a new
+  // generation on both sides' mark sets).
+  EXPECT_LT(Scratch.epoch(), UINT32_MAX - 3);
+}
+
+TEST(Scratch, SharedScratchMatchesFreshScratch) {
+  // The check is a deterministic function of the heap and the roots; the
+  // identity and history of the scratch must never influence the outcome
+  // or the work accounting.
+  World W;
+  std::vector<Loc> A = W.chain(9);
+  std::vector<Loc> B = W.chain(5);
+  W.link(B[4], W.PrevSym, B[0]);
+  DisconnectScratch Shared;
+  for (int I = 0; I < 10; ++I) {
+    DisconnectScratch Fresh;
+    DisconnectOutcome WithShared =
+        checkDisconnectedRefCount(*W.TheHeap, A[0], B[0], Shared);
+    DisconnectOutcome WithFresh =
+        checkDisconnectedRefCount(*W.TheHeap, A[0], B[0], Fresh);
+    EXPECT_EQ(WithShared.Disconnected, WithFresh.Disconnected);
+    EXPECT_EQ(WithShared.ObjectsVisited, WithFresh.ObjectsVisited);
+    EXPECT_EQ(WithShared.EdgesTraversed, WithFresh.EdgesTraversed);
+    EXPECT_EQ(WithShared.ObjectsVisitedA, WithFresh.ObjectsVisitedA);
+    EXPECT_EQ(WithShared.ObjectsVisitedB, WithFresh.ObjectsVisitedB);
   }
 }
 

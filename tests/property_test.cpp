@@ -248,6 +248,13 @@ struct node {
     Nodes.push_back(L);
   }
 
+  // One scratch shared by every check below, across all rounds and both
+  // algorithms: exactly the reuse pattern of the interpreter's per-thread
+  // scratch, on a graph that mutates between (and interleaved with) the
+  // checks. Any stale-generation leak shows up as a disagreement with a
+  // freshly-scratched run or as an unsound verdict vs the exact check.
+  DisconnectScratch Shared;
+
   for (int Round = 0; Round < 60; ++Round) {
     for (int K = 0; K < 6; ++K) {
       Loc From = Nodes[Rng() % N];
@@ -275,6 +282,31 @@ struct node {
           << "refcount check claimed loc#" << A.Index << " and loc#"
           << B.Index << " disjoint but they are connected (round "
           << Round << ")";
+    }
+
+    // Scratch-reuse oracle: several more checks through the one shared
+    // scratch, interleaving both algorithms. The outcome must be a pure
+    // function of (heap, roots) — scratch history must not matter — and
+    // the refcount verdict must stay sound against the exact check run
+    // through the very same scratch.
+    for (int Q = 0; Q < 4; ++Q) {
+      Loc X = Nodes[Rng() % N];
+      Loc Y = Nodes[Rng() % N];
+      DisconnectOutcome FastShared =
+          checkDisconnectedRefCount(H, X, Y, Shared);
+      DisconnectOutcome ExactShared =
+          checkDisconnectedNaive(H, X, Y, Shared);
+      DisconnectOutcome FastRef = checkDisconnectedRefCount(H, X, Y);
+      EXPECT_EQ(FastShared.Disconnected, FastRef.Disconnected)
+          << "scratch reuse changed the verdict for loc#" << X.Index
+          << " vs loc#" << Y.Index << " (round " << Round << ")";
+      EXPECT_EQ(FastShared.ObjectsVisited, FastRef.ObjectsVisited);
+      EXPECT_EQ(FastShared.EdgesTraversed, FastRef.EdgesTraversed);
+      if (FastShared.Disconnected)
+        EXPECT_TRUE(ExactShared.Disconnected)
+            << "shared-scratch refcount check unsound for loc#"
+            << X.Index << " vs loc#" << Y.Index << " (round " << Round
+            << ")";
     }
   }
 }

@@ -196,6 +196,70 @@ def main() : node {
   EXPECT_EQ(Live.size(), 4u);
 }
 
+TEST(Runtime, ReservationTableBehavesLikeASet) {
+  ReservationTable R;
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.count(7), 0u);
+  R.insert(7);
+  R.insert(3);
+  R.insert(7); // duplicate insert is a no-op
+  EXPECT_EQ(R.size(), 2u);
+  EXPECT_EQ(R.count(7), 1u);
+  EXPECT_EQ(R.count(3), 1u);
+  EXPECT_EQ(R.count(4), 0u);
+
+  std::vector<uint32_t> Seen(R.begin(), R.end());
+  EXPECT_EQ(Seen, (std::vector<uint32_t>{3, 7}));
+
+  R.erase(7);
+  EXPECT_EQ(R.count(7), 0u);
+  EXPECT_EQ(R.size(), 1u);
+  R.erase(7); // double erase is a no-op
+  EXPECT_EQ(R.size(), 1u);
+
+  // clear() is an O(1) epoch bump; membership and re-insertion must
+  // behave as if the stamps were wiped.
+  R.clear();
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.count(3), 0u);
+  EXPECT_EQ(std::distance(R.begin(), R.end()), 0);
+  R.insert(3);
+  EXPECT_EQ(R.count(3), 1u);
+
+  // Copy semantics (tests hand reservations between threads this way).
+  ReservationTable Copy = R;
+  Copy.insert(9);
+  EXPECT_EQ(Copy.size(), 2u);
+  EXPECT_EQ(R.size(), 1u);
+}
+
+TEST(Runtime, LiveSetIntoReusesBuffers) {
+  Machine *M = nullptr;
+  auto R = runMain(R"(
+struct data { value : int; }
+struct node { iso payload : data; iso next : node?; }
+def main() : node {
+  new node(new data(1), some new node(new data(2), none))
+}
+)",
+                   {}, &M);
+  ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
+  Loc Root = R->ThreadResults[0].asLoc();
+  std::vector<Loc> Out;
+  EpochSet Seen;
+  M->heap().liveSetInto(Root, Out, Seen);
+  EXPECT_EQ(Out.size(), 4u);
+  const Loc *DataBefore = Out.data();
+  // A second collection into the same buffers must reuse the capacity
+  // (and, trivially, produce the same set).
+  M->heap().liveSetInto(Root, Out, Seen);
+  EXPECT_EQ(Out.size(), 4u);
+  EXPECT_EQ(Out.data(), DataBefore);
+  // Invalid root: empty result, no fault.
+  M->heap().liveSetInto(Loc::invalid(), Out, Seen);
+  EXPECT_TRUE(Out.empty());
+}
+
 TEST(Runtime, DeterministicAcrossSeeds) {
   const char *Source = R"(
 def work(n : int) : int {

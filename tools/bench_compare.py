@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare two merged benchmark baselines produced by tools/bench.sh.
+
+Usage:
+  tools/bench_compare.py BASELINE.json CURRENT.json [options]
+
+Options:
+  --threshold X    regression threshold as a ratio (default 1.25: fail if
+                   current time > 1.25x baseline time on any benchmark)
+  --metric NAME    time field to compare: cpu_time (default) or real_time
+  --counters       also print counter deltas (allocs_per_iter,
+                   losing_side_visited, RuntimeMetrics counters, ...)
+  --min-ns X       ignore benchmarks whose baseline time is below X ns
+                   (micro-benchmarks under ~50ns are noise-dominated on a
+                   loaded machine; default 0 = compare everything)
+
+Exit status: 0 when no benchmark regressed beyond the threshold, 1
+otherwise. Intended for local use and pre-merge checks; CI runs the
+benches in smoke mode only (tools/ci.sh) and does not gate on thresholds.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "fearless-bench-v1":
+        sys.exit(f"{path}: not a fearless-bench-v1 file (see tools/bench.sh)")
+    entries = {}
+    for bench, payload in data.get("benches", {}).items():
+        for bm in payload.get("benchmarks", []):
+            # aggregate entries (mean/median/stddev) would double-count
+            if bm.get("run_type") == "aggregate":
+                continue
+            entries[f"{bench}/{bm['name']}"] = bm
+    return entries
+
+
+def fmt_time(ns):
+    if ns >= 1e6:
+        return f"{ns / 1e6:10.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:10.2f} us"
+    return f"{ns:10.1f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=1.25)
+    ap.add_argument("--metric", choices=("cpu_time", "real_time"), default="cpu_time")
+    ap.add_argument("--counters", action="store_true")
+    ap.add_argument("--min-ns", type=float, default=0.0)
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions, improvements, skipped = [], [], 0
+    width = max((len(n) for n in base if n in cur), default=20)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>13}  {'current':>13}  ratio")
+    for name in sorted(base):
+        if name not in cur:
+            continue
+        b, c = base[name].get(args.metric), cur[name].get(args.metric)
+        if b is None or c is None or b <= 0:
+            continue
+        if b < args.min_ns:
+            skipped += 1
+            continue
+        ratio = c / b
+        flag = ""
+        if ratio > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio < 1.0 / args.threshold:
+            flag = "  improved"
+            improvements.append((name, ratio))
+        print(
+            f"{name.ljust(width)}  {fmt_time(b)}  {fmt_time(c)}  "
+            f"{ratio:5.2f}x{flag}"
+        )
+        if args.counters:
+            bc = base[name].get("counters", base[name])
+            cc = cur[name].get("counters", cur[name])
+            shared = sorted(
+                k
+                for k in set(bc) & set(cc)
+                if isinstance(bc[k], (int, float)) and isinstance(cc[k], (int, float))
+                and k not in ("cpu_time", "real_time", "iterations")
+            )
+            for k in shared:
+                if bc[k] != cc[k]:
+                    print(f"{''.ljust(width)}    {k}: {bc[k]:g} -> {cc[k]:g}")
+
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    if only_base:
+        print(f"\nonly in baseline ({len(only_base)}):")
+        for name in only_base:
+            print(f"  {name}")
+    if only_cur:
+        print(f"\nonly in current ({len(only_cur)}):")
+        for name in only_cur:
+            print(f"  {name}")
+    if skipped:
+        print(f"\nskipped {skipped} sub-{args.min_ns:g}ns benchmarks")
+
+    print(
+        f"\n{len(regressions)} regression(s), {len(improvements)} improvement(s) "
+        f"at threshold {args.threshold:g}x on {args.metric}"
+    )
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"worst: {worst[0]} at {worst[1]:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,10 +5,12 @@
 #
 #===----------------------------------------------------------------------===#
 #
-# Local CI gate: a regular build + test pass, then the same suite under
-# ThreadSanitizer. The concurrent runtime (ParallelExec, ChannelSet) is the
-# part of this repo most likely to rot silently — TSan keeps the
-# "fearless" claim honest.
+# Local CI gate: a regular build + test pass (followed by a benchmark
+# smoke run — every bench binary must execute to completion; no perf
+# thresholds, that is tools/bench_compare.py's job), then the same test
+# suite under ThreadSanitizer. The concurrent runtime (ParallelExec,
+# ChannelSet) is the part of this repo most likely to rot silently — TSan
+# keeps the "fearless" claim honest.
 #
 # Usage: tools/ci.sh [extra ctest args...]
 #
@@ -33,6 +35,8 @@ run_pass() {
 CTEST_ARGS=("$@")
 
 run_pass "default" "$ROOT/build"
+echo "==> [default] bench smoke"
+"$ROOT/tools/bench.sh" --smoke -B "$ROOT/build"
 run_pass "tsan" "$ROOT/build-tsan" -DFEARLESS_SANITIZE=thread
 
 echo "==> all passes green"
