@@ -23,6 +23,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/StaticDisconnect.h"
+#include "checker/Checker.h"
 #include "parser/Parser.h"
 #include "runtime/Disconnected.h"
 #include "runtime/Heap.h"
@@ -31,6 +33,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 
@@ -187,6 +190,82 @@ BENCHMARK(BM_RefCount_DetachSubgraph)
     ->Arg(16)
     ->Arg(256)
     ->Arg(4096);
+
+//===----------------------------------------------------------------------===//
+// Elision: the static analysis proved the site must-disconnected, so the
+// interpreter answers from the verdict table without touching the heap.
+//===----------------------------------------------------------------------===//
+
+/// A checked program whose single `if disconnected` site the static
+/// analysis classifies as must-disconnected, plus its verdict table —
+/// the exact inputs the interpreter's elision path consults.
+struct ElisionOracle {
+  FrontendResult Front;
+  AnalysisReport Report;
+  DisconnectVerdictTable Table;
+  const Expr *Site = nullptr;
+
+  ElisionOracle() {
+    auto FR = checkSource(R"(
+struct gnode { next : gnode; }
+
+def detach(unused : int) : int {
+  let a = new gnode();
+  let b = new gnode();
+  a.next = b;
+  a.next = a;
+  if disconnected(a, b) { 1 } else { 0 }
+}
+)");
+    if (!FR) {
+      std::fprintf(stderr, "elision workload failed to check: %s\n",
+                   FR.error().render().c_str());
+      std::abort();
+    }
+    Front = std::move(*FR);
+    Report = analyzeProgram(Front.Checked);
+    Table = Report.verdictTable();
+    if (Report.Sites.size() != 1 ||
+        Report.Sites[0].Verdict != DisconnectVerdict::MustDisconnected) {
+      std::fprintf(stderr,
+                   "elision workload is not must-disconnected\n");
+      std::abort();
+    }
+    Site = Report.Sites[0].Site;
+  }
+};
+
+void BM_Elided_DetachSubgraph(benchmark::State &State) {
+  // Same shape as BM_RefCount_DetachSubgraph — a k-object subgraph
+  // detached from a 2^18-object region — but the check is answered from
+  // the static verdict table, the way Interp does for must-* sites. The
+  // heap is live but untouched: ns/op must be flat in k and every
+  // traversal counter must be exactly zero.
+  size_t K = static_cast<size_t>(State.range(0));
+  Workload W(/*N=*/1 << 18, K, /*Connected=*/false);
+  ElisionOracle Oracle;
+  DisconnectOutcome Warm{};
+  uint64_t AllocsBefore = GHeapAllocs.load(std::memory_order_relaxed);
+  for (auto _ : State) {
+    auto It = Oracle.Table.find(Oracle.Site);
+    bool Disc = It != Oracle.Table.end() &&
+                It->second == DisconnectVerdict::MustDisconnected;
+    benchmark::DoNotOptimize(Disc);
+  }
+  uint64_t AllocsInLoop =
+      GHeapAllocs.load(std::memory_order_relaxed) - AllocsBefore;
+  State.counters["visited"] = static_cast<double>(Warm.ObjectsVisited);
+  State.counters["edges"] = static_cast<double>(Warm.EdgesTraversed);
+  State.counters["losing_side_visited"] =
+      static_cast<double>(Warm.ObjectsVisitedB);
+  State.counters["allocs_per_iter"] =
+      State.iterations()
+          ? static_cast<double>(AllocsInLoop) /
+                static_cast<double>(State.iterations())
+          : 0.0;
+  State.counters["detached_size"] = static_cast<double>(K);
+}
+BENCHMARK(BM_Elided_DetachSubgraph)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
 
 void BM_RefCount_BuggyStillConnected(benchmark::State &State) {
   // The arguments' graphs intersect (the programmer forgot to repoint a

@@ -1,0 +1,176 @@
+//===- analysis/RegionGraph.h - Abstract heap for region analysis -*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract domain of the static disconnect analysis: a per-program-
+/// point graph of abstract nodes (one per allocation site, parameter,
+/// receive, or call result) with may-point-to edges labeled by field and
+/// kind (iso / non-iso), plus a points-to map for the regionful variables
+/// in scope. StaticDisconnect.cpp interprets the typed AST over this
+/// domain; the queries here (reachability, incoming-edge closure, must-
+/// path search) are what the verdict engine is built from.
+///
+/// Precision flags:
+///  - AbsNode::Exact — the node stands for at most one concrete object per
+///    activation (false for loop-allocated nodes and summaries), so an
+///    intersection of must-paths at an exact node names one physical
+///    object.
+///  - FieldEdge::Must — the field of the (unique) concrete object denoted
+///    by the source definitely holds exactly the listed target set
+///    (established by strong updates, destroyed by joins and call havoc).
+///  - PointsTo::Definite — the variable's value is exactly the single
+///    listed exact node (or definitely none when the target set is empty).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_ANALYSIS_REGIONGRAPH_H
+#define FEARLESS_ANALYSIS_REGIONGRAPH_H
+
+#include "support/Diagnostics.h"
+#include "support/Interner.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fearless {
+
+/// Dense index of one abstract node in a NodeTable.
+struct AbsNodeId {
+  uint32_t Id = UINT32_MAX;
+
+  bool isValid() const { return Id != UINT32_MAX; }
+  bool operator==(const AbsNodeId &) const = default;
+  auto operator<=>(const AbsNodeId &) const = default;
+};
+
+/// What a node stands for.
+enum class AbsNodeKind {
+  Alloc,      ///< A `new S(...)` site — locally allocated objects.
+  Param,      ///< One function parameter's root object.
+  Summary,    ///< The unknown entry contents of one input region group.
+  Recv,       ///< The root of a `recv<T>()`'d graph.
+  RecvRest,   ///< The rest of a received graph (summary).
+  CallResult, ///< The root returned by a call.
+  CallRest,   ///< The unknown structure behind a call result (summary).
+  Glue,       ///< Havoc hub for one call's may-connected argument group.
+};
+
+/// One abstract node. Only Alloc nodes may appear in a must-disconnected
+/// side: every other kind admits concrete incoming references the function
+/// body cannot see (entry-region siblings, the sender's stale iso edges,
+/// callee-made links), which the refcount check observes as count
+/// mismatches.
+struct AbsNode {
+  AbsNodeKind Kind = AbsNodeKind::Alloc;
+  bool Exact = false;
+  /// Set once the node's object may be denoted by another node too (same-
+  /// group parameters, call results aliasing arguments, anything exposed
+  /// to a call). Havocked nodes never receive strong updates, and a call
+  /// may leave stale stored-reference counts on them, so they are excluded
+  /// from must-disconnected sides. Monotone: never cleared.
+  bool Havocked = false;
+  Symbol StructName; ///< Invalid for summaries and glue.
+  Symbol Origin;     ///< Parameter / callee name, for rendering.
+  SourceLoc Loc;     ///< Originating site.
+};
+
+/// Registry of the abstract nodes of one function analysis. Node ids are
+/// stable across the while-loop fixpoint because every site materializes
+/// its node at most once.
+class NodeTable {
+public:
+  AbsNodeId add(AbsNode N) {
+    Nodes.push_back(N);
+    return AbsNodeId{static_cast<uint32_t>(Nodes.size() - 1)};
+  }
+  const AbsNode &operator[](AbsNodeId Id) const { return Nodes[Id.Id]; }
+  AbsNode &operator[](AbsNodeId Id) { return Nodes[Id.Id]; }
+  size_t size() const { return Nodes.size(); }
+
+private:
+  std::vector<AbsNode> Nodes;
+};
+
+using NodeSet = std::set<AbsNodeId>;
+
+/// Abstract value of a regionful expression / variable.
+struct PointsTo {
+  NodeSet Targets;
+  bool Definite = false;
+
+  bool operator==(const PointsTo &) const = default;
+};
+
+/// Least upper bound of two variable values.
+PointsTo joinPointsTo(const PointsTo &A, const PointsTo &B);
+
+/// One field's may-target set. The wildcard field (invalid Symbol) models
+/// "any field of this node may point here" and backs the lazily-defaulted
+/// entry contents of parameters, receives, and call results; field reads
+/// fall back to it when no specific entry exists, and it participates in
+/// reachability and closure queries unconditionally.
+struct FieldEdge {
+  NodeSet Targets;
+  bool Must = false;
+  bool Iso = false;
+
+  bool operator==(const FieldEdge &) const = default;
+};
+
+/// The abstract state at one program point.
+class RegionGraph {
+public:
+  std::map<Symbol, PointsTo> Vars;
+  std::map<AbsNodeId, std::map<Symbol, FieldEdge>> Edges;
+
+  /// Adds a may edge (unions targets; clears Must if already present).
+  void addMayEdge(AbsNodeId From, Symbol Field, AbsNodeId To,
+                  bool Iso = false);
+
+  /// Reads field \p Field over every node in \p Bases, falling back to
+  /// each node's wildcard edge when the field was never written.
+  PointsTo readField(const NodeSet &Bases, Symbol Field,
+                     const NodeTable &Nodes) const;
+
+  /// Writes field \p Field of \p Base. A strong write replaces the entry
+  /// (Must iff \p V is a definite singleton / definite none); a weak write
+  /// unions with the previous contents (including the wildcard fallback)
+  /// and clears Must.
+  void writeField(AbsNodeId Base, Symbol Field, const PointsTo &V,
+                  bool Strong, bool Iso);
+
+  /// All nodes reachable from \p Roots over every edge, wildcard and iso
+  /// included (matching the naive exact-reachability spec of E15A/E15B).
+  NodeSet reachableFrom(const NodeSet &Roots) const;
+
+  /// True when any edge whose source lies outside \p Side targets a node
+  /// inside it. A side with no external in-edges is "reference-closed":
+  /// the refcount comparison on it cannot see a count surplus.
+  bool hasExternalEdgeInto(const NodeSet &Side) const;
+
+  /// Must-reachability: the closure of \p Root over non-iso Must edges
+  /// whose targets are Exact nodes, with the discovering edge recorded per
+  /// node (for witness paths). \p Root itself is included with an invalid
+  /// predecessor.
+  struct MustStep {
+    AbsNodeId Prev; ///< Invalid for the root.
+    Symbol Field;
+  };
+  std::map<AbsNodeId, MustStep> mustClosure(AbsNodeId Root,
+                                            const NodeTable &Nodes) const;
+
+  /// Least upper bound (branch merge / loop head). Edge entries present on
+  /// one side only are widened with the other side's wildcard fallback.
+  void join(const RegionGraph &Other);
+
+  bool operator==(const RegionGraph &) const = default;
+};
+
+} // namespace fearless
+
+#endif // FEARLESS_ANALYSIS_REGIONGRAPH_H

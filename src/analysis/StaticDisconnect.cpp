@@ -1,0 +1,1288 @@
+//===- analysis/StaticDisconnect.cpp - Static disconnect verdicts --------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// The abstract interpreter over the typed AST. Per function it threads a
+// RegionGraph through the body (branch join, while fixpoint), derives the
+// entry state from the checker's elaborated signature (parameter cohorts
+// from the input (H; Γ) contexts), applies signature-derived havoc at
+// calls, and classifies every `if disconnected` site.
+//
+// The must-verdict side conditions are chosen so that the verdicts agree
+// with BOTH runtime algorithms (runtime/Disconnected.cpp):
+//
+//  * must-disconnected requires, for each side, that every node is a
+//    locally allocated, never-call-exposed object (Kind == Alloc and
+//    !Havocked), that the side has no incoming abstract edge from outside
+//    itself, that it contains no iso edges, and that the two sides'
+//    full-edge reachability sets are disjoint. Under these conditions the
+//    naive check trivially reports disconnected, and the §5.2 refcount
+//    check cannot see a stored-count surplus (StoredRefCount counts only
+//    non-iso stored fields, all of which originate inside the side and are
+//    traversed), so it reports disconnected too.
+//
+//  * must-connected requires both operands to be definite single exact
+//    nodes whose closures over non-iso Must edges through exact nodes
+//    intersect. The shared object makes the naive check report connected;
+//    the refcount check either observes the frontier intersection or,
+//    when one side exhausts first, a count surplus from the other side's
+//    witness edge — both of which it reports as connected.
+//
+// docs/ANALYSIS.md spells the argument out in full.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticDisconnect.h"
+
+#include "analysis/RegionGraph.h"
+#include "parser/Parser.h"
+#include "sema/Resolver.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fearless {
+
+const char *toString(DisconnectVerdict V) {
+  switch (V) {
+  case DisconnectVerdict::Unknown:
+    return "unknown";
+  case DisconnectVerdict::MustDisconnected:
+    return "must-disconnected";
+  case DisconnectVerdict::MustConnected:
+    return "must-connected";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool isHubKind(AbsNodeKind K) {
+  switch (K) {
+  case AbsNodeKind::Summary:
+  case AbsNodeKind::RecvRest:
+  case AbsNodeKind::CallRest:
+  case AbsNodeKind::Glue:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-function abstract interpreter
+//===----------------------------------------------------------------------===//
+
+class FnAnalyzer {
+public:
+  FnAnalyzer(const CheckedProgram &CP, const CheckedFunction &Fn,
+             AnalysisReport &Report)
+      : CP(CP), Fn(Fn), Report(Report), Names(CP.Prog->Names) {}
+
+  void run();
+
+private:
+  const CheckedProgram &CP;
+  const CheckedFunction &Fn;
+  AnalysisReport &Report;
+  const Interner &Names;
+
+  NodeTable Nodes;
+  RegionGraph G;
+  int LoopDepth = 0;
+
+  // Site-memoized nodes, so fixpoint revisits reuse ids.
+  std::map<const NewExpr *, AbsNodeId> AllocNodes;
+  std::map<const RecvExpr *, std::pair<AbsNodeId, AbsNodeId>> RecvNodes;
+  std::map<const CallExpr *, std::pair<AbsNodeId, AbsNodeId>> ResultNodes;
+  std::map<std::pair<const CallExpr *, size_t>, AbsNodeId> GlueNodes;
+
+  // Verdicts, overwritten on each visit; the last visit (under the stable
+  // loop state) wins.
+  std::map<const IfDisconnectedExpr *, SiteReport> SiteVerdicts;
+  // Sites in first-visit order, for deterministic reporting.
+  std::vector<const IfDisconnectedExpr *> SiteOrder;
+
+  void buildEntryState();
+  PointsTo evaluate(const Expr *E);
+  PointsTo evalNew(const NewExpr &E);
+  PointsTo evalCall(const CallExpr &E);
+  PointsTo evalRecv(const RecvExpr &E);
+  void evalIfDisconnected(const IfDisconnectedExpr &E, PointsTo &Value);
+  void classify(const IfDisconnectedExpr &E);
+
+  /// Writes \p V into field \p F of every node the base may denote, with
+  /// the strong/weak decision per node, and keeps call/entry cohorts
+  /// closed under mutation: if a base node's wildcard entry mentions a hub
+  /// node, the written value becomes reachable from that hub too.
+  void assignField(const PointsTo &Base, Symbol F, const PointsTo &V);
+
+  bool fieldIsIso(AbsNodeId N, Symbol F) const;
+  std::string describeNode(AbsNodeId N) const;
+  std::string renderMustPath(Symbol Var, AbsNodeId Target,
+                             const std::map<AbsNodeId, RegionGraph::MustStep>
+                                 &Closure) const;
+};
+
+void FnAnalyzer::buildEntryState() {
+  const FnSignature &Sig = Fn.Sig;
+  const FnDecl &Decl = *Sig.Decl;
+
+  // Region adjacency of the input heap context: region -> tracked-field
+  // target regions.
+  std::map<RegionId, std::set<RegionId>> Adj;
+  for (const auto &[R, Track] : Sig.Input.Heap.entries())
+    for (const auto &[Var, VT] : Track.Vars)
+      for (const auto &[Field, Target] : VT.Fields)
+        Adj[R].insert(Target);
+
+  auto regionClosure = [&](RegionId Root) {
+    std::set<RegionId> Seen{Root};
+    std::vector<RegionId> Frontier{Root};
+    while (!Frontier.empty()) {
+      RegionId R = Frontier.back();
+      Frontier.pop_back();
+      auto It = Adj.find(R);
+      if (It == Adj.end())
+        continue;
+      for (RegionId T : It->second)
+        if (Seen.insert(T).second)
+          Frontier.push_back(T);
+    }
+    return Seen;
+  };
+
+  // Regionful parameters and their input-region closures.
+  struct ParamInfo {
+    Symbol Name;
+    Type Ty;
+    SourceLoc Loc;
+    std::set<RegionId> Regions;
+    AbsNodeId Node;
+    size_t Group = 0;
+  };
+  std::vector<ParamInfo> Ps;
+  for (const ParamDecl &P : Decl.Params) {
+    if (!P.ParamType.isRegionful())
+      continue;
+    ParamInfo PI;
+    PI.Name = P.Name;
+    PI.Ty = P.ParamType;
+    PI.Loc = P.Loc;
+    auto It = Sig.ParamRegion.find(P.Name);
+    if (It != Sig.ParamRegion.end())
+      PI.Regions = regionClosure(It->second);
+    Ps.push_back(PI);
+  }
+
+  // Group parameters whose input-region closures intersect (before:
+  // relations, tracked fields targeting a shared region): such parameters
+  // may alias or reach one another at entry.
+  std::vector<size_t> Group(Ps.size());
+  for (size_t I = 0; I < Ps.size(); ++I)
+    Group[I] = I;
+  auto findRep = [&](size_t I) {
+    while (Group[I] != I)
+      I = Group[I] = Group[Group[I]];
+    return I;
+  };
+  for (size_t I = 0; I < Ps.size(); ++I)
+    for (size_t J = I + 1; J < Ps.size(); ++J) {
+      bool Related = std::any_of(
+          Ps[I].Regions.begin(), Ps[I].Regions.end(),
+          [&](RegionId R) { return Ps[J].Regions.contains(R); });
+      if (Related)
+        Group[findRep(J)] = findRep(I);
+    }
+
+  // Materialize one node per parameter and one summary node per group for
+  // the unknown rest of the group's entry regions.
+  for (ParamInfo &PI : Ps) {
+    AbsNode N;
+    N.Kind = AbsNodeKind::Param;
+    N.Exact = true;
+    N.StructName = PI.Ty.StructName;
+    N.Origin = PI.Name;
+    N.Loc = PI.Loc;
+    PI.Node = Nodes.add(N);
+  }
+  std::map<size_t, std::vector<size_t>> Groups;
+  for (size_t I = 0; I < Ps.size(); ++I)
+    Groups[findRep(I)].push_back(I);
+  for (const auto &[Rep, Members] : Groups) {
+    AbsNode S;
+    S.Kind = AbsNodeKind::Summary;
+    S.Havocked = true;
+    S.Origin = Ps[Rep].Name;
+    S.Loc = Ps[Rep].Loc;
+    AbsNodeId Sum = Nodes.add(S);
+
+    NodeSet Cohort{Sum};
+    for (size_t I : Members)
+      Cohort.insert(Ps[I].Node);
+    for (AbsNodeId M : Cohort) {
+      FieldEdge &W = G.Edges[M][Symbol{}];
+      W.Targets = Cohort;
+      W.Must = false;
+      if (Members.size() > 1)
+        Nodes[M].Havocked = true;
+    }
+    Nodes[Sum].Havocked = true;
+  }
+
+  for (const ParamInfo &PI : Ps) {
+    PointsTo V;
+    V.Targets = {PI.Node};
+    V.Definite = PI.Ty.isStruct();
+    G.Vars[PI.Name] = V;
+  }
+}
+
+PointsTo FnAnalyzer::evalNew(const NewExpr &E) {
+  // Evaluate argument expressions first (they may have effects) and
+  // remember the values of regionful initializers.
+  std::vector<PointsTo> ArgVals;
+  ArgVals.reserve(E.Args.size());
+  for (const ExprPtr &A : E.Args)
+    ArgVals.push_back(evaluate(A.get()));
+
+  auto It = AllocNodes.find(&E);
+  AbsNodeId Self;
+  if (It != AllocNodes.end()) {
+    Self = It->second;
+  } else {
+    AbsNode N;
+    N.Kind = AbsNodeKind::Alloc;
+    N.Exact = LoopDepth == 0;
+    N.StructName = E.StructName;
+    N.Loc = E.loc();
+    Self = Nodes.add(N);
+    AllocNodes[&E] = Self;
+  }
+  bool Exact = Nodes[Self].Exact && !Nodes[Self].Havocked;
+
+  const StructInfo *SI = CP.Structs.lookup(E.StructName);
+  if (!SI)
+    return PointsTo{{Self}, Exact};
+
+  // Map arguments to field slots: one per field, or one per required
+  // field with the rest defaulted (StructTable's `new` contract).
+  std::vector<int> ArgOfField(SI->Fields.size(), -1);
+  if (E.Args.size() == SI->Fields.size()) {
+    for (size_t I = 0; I < SI->Fields.size(); ++I)
+      ArgOfField[I] = static_cast<int>(I);
+  } else if (!E.Args.empty()) {
+    std::vector<uint32_t> Req = SI->requiredFieldIndices();
+    for (size_t I = 0; I < Req.size() && I < E.Args.size(); ++I)
+      ArgOfField[Req[I]] = static_cast<int>(I);
+  }
+
+  for (size_t FI = 0; FI < SI->Fields.size(); ++FI) {
+    const FieldInfo &F = SI->Fields[FI];
+    if (!F.FieldType.isRegionful())
+      continue;
+    PointsTo V;
+    if (ArgOfField[FI] >= 0) {
+      V = ArgVals[ArgOfField[FI]];
+    } else if (F.FieldType.isMaybe()) {
+      V.Definite = true; // definitely none
+    } else if (!F.Iso && F.FieldType.StructName == E.StructName) {
+      // Argless-new self-reference default (Fig. 3's size-1 circle).
+      V.Targets = {Self};
+      V.Definite = Exact;
+    } else {
+      V.Definite = false;
+    }
+    G.writeField(Self, F.Name, V, /*Strong=*/Exact, F.Iso);
+  }
+  return PointsTo{{Self}, Exact};
+}
+
+PointsTo FnAnalyzer::evalRecv(const RecvExpr &E) {
+  auto It = RecvNodes.find(&E);
+  AbsNodeId Root, Rest;
+  if (It != RecvNodes.end()) {
+    Root = It->second.first;
+    Rest = It->second.second;
+  } else {
+    AbsNode R;
+    R.Kind = AbsNodeKind::Recv;
+    R.Exact = LoopDepth == 0;
+    if (E.ValueType.isRegionful())
+      R.StructName = E.ValueType.StructName;
+    R.Loc = E.loc();
+    Root = Nodes.add(R);
+    AbsNode S;
+    S.Kind = AbsNodeKind::RecvRest;
+    S.Havocked = true;
+    S.Loc = E.loc();
+    Rest = Nodes.add(S);
+    RecvNodes[&E] = {Root, Rest};
+  }
+  // The received graph is isolated from everything local, but its
+  // internal structure is unknown: root and rest may reference each other
+  // arbitrarily.
+  NodeSet Cohort{Root, Rest};
+  for (AbsNodeId M : Cohort) {
+    FieldEdge &W = G.Edges[M][Symbol{}];
+    W.Targets.insert(Cohort.begin(), Cohort.end());
+    W.Must = false;
+  }
+  if (!E.ValueType.isRegionful())
+    return PointsTo{};
+  PointsTo V;
+  V.Targets = {Root};
+  V.Definite = E.ValueType.isStruct() && Nodes[Root].Exact;
+  return V;
+}
+
+PointsTo FnAnalyzer::evalCall(const CallExpr &E) {
+  std::vector<PointsTo> ArgVals;
+  ArgVals.reserve(E.Args.size());
+  for (const ExprPtr &A : E.Args)
+    ArgVals.push_back(evaluate(A.get()));
+
+  auto SigIt = CP.Signatures.find(E.Callee);
+  const FnSignature *Sig =
+      SigIt == CP.Signatures.end() ? nullptr : &SigIt->second;
+  const FnDecl *Decl = Sig ? Sig->Decl : nullptr;
+
+  // Regionful argument slots.
+  struct Slot {
+    size_t ArgIndex;
+    Symbol ParamName;
+    bool Consumed = false;
+    std::set<RegionId> InRegions; ///< Input-region closure.
+  };
+  std::vector<Slot> Slots;
+  bool ResultRegionful = Sig ? Sig->ReturnType.isRegionful() : true;
+
+  std::map<RegionId, std::set<RegionId>> Adj;
+  if (Sig)
+    for (const auto &[R, Track] : Sig->Input.Heap.entries())
+      for (const auto &[Var, VT] : Track.Vars)
+        for (const auto &[Field, Target] : VT.Fields)
+          Adj[R].insert(Target);
+  auto regionClosure = [&](RegionId RootR) {
+    std::set<RegionId> Seen{RootR};
+    std::vector<RegionId> Frontier{RootR};
+    while (!Frontier.empty()) {
+      RegionId R = Frontier.back();
+      Frontier.pop_back();
+      auto AIt = Adj.find(R);
+      if (AIt == Adj.end())
+        continue;
+      for (RegionId T : AIt->second)
+        if (Seen.insert(T).second)
+          Frontier.push_back(T);
+    }
+    return Seen;
+  };
+
+  if (Decl) {
+    for (size_t I = 0; I < Decl->Params.size() && I < E.Args.size(); ++I) {
+      const ParamDecl &P = Decl->Params[I];
+      if (!P.ParamType.isRegionful())
+        continue;
+      Slot S;
+      S.ArgIndex = I;
+      S.ParamName = P.Name;
+      auto RIt = Sig->ParamRegion.find(P.Name);
+      if (RIt != Sig->ParamRegion.end()) {
+        S.InRegions = regionClosure(RIt->second);
+        auto OIt = Sig->OutputImage.find(RIt->second);
+        S.Consumed = OIt == Sig->OutputImage.end() || !OIt->second.isValid();
+      } else {
+        S.Consumed = true; // Unknown region: be conservative.
+      }
+      Slots.push_back(S);
+    }
+  } else {
+    // Unresolvable callee (cannot happen in a checked program): havoc
+    // every regionful-looking argument together with the result.
+    for (size_t I = 0; I < E.Args.size(); ++I)
+      Slots.push_back(Slot{I, Symbol{}, /*Consumed=*/true, {}});
+  }
+
+  // Output-region image of a slot's input closure.
+  auto outImage = [&](const Slot &S) {
+    std::set<RegionId> Out;
+    if (!Sig)
+      return Out;
+    for (RegionId R : S.InRegions) {
+      auto OIt = Sig->OutputImage.find(R);
+      if (OIt != Sig->OutputImage.end() && OIt->second.isValid())
+        Out.insert(OIt->second);
+    }
+    return Out;
+  };
+
+  // Union-find over slot indices plus a virtual result slot: two slots
+  // group when the callee may leave their graphs connected.
+  size_t NumGroups = Slots.size() + 1; // last = result
+  size_t ResultSlot = Slots.size();
+  std::vector<size_t> Group(NumGroups);
+  for (size_t I = 0; I < NumGroups; ++I)
+    Group[I] = I;
+  auto findRep = [&](size_t I) {
+    while (Group[I] != I)
+      I = Group[I] = Group[Group[I]];
+    return I;
+  };
+  auto unite = [&](size_t A, size_t B) { Group[findRep(A)] = findRep(B); };
+
+  std::vector<std::set<RegionId>> Images;
+  for (const Slot &S : Slots)
+    Images.push_back(outImage(S));
+  for (size_t I = 0; I < Slots.size(); ++I)
+    for (size_t J = I + 1; J < Slots.size(); ++J) {
+      bool InRelated = std::any_of(
+          Slots[I].InRegions.begin(), Slots[I].InRegions.end(),
+          [&](RegionId R) { return Slots[J].InRegions.contains(R); });
+      bool OutRelated =
+          std::any_of(Images[I].begin(), Images[I].end(),
+                      [&](RegionId R) { return Images[J].contains(R); });
+      if (InRelated || OutRelated)
+        unite(I, J);
+    }
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    if (Slots[I].Consumed) {
+      // A consumed region may have been sent away — or retracted into any
+      // other argument or the result. Group with everything.
+      for (size_t J = 0; J < NumGroups; ++J)
+        unite(I, J);
+    }
+    if (Sig && ResultRegionful && Images[I].contains(Sig->ResultRegion))
+      unite(I, ResultSlot);
+  }
+  if (!Sig)
+    for (size_t I = 0; I < NumGroups; ++I)
+      unite(I, 0);
+
+  // Result nodes (memoized per site).
+  AbsNodeId Root, Rest;
+  if (ResultRegionful) {
+    auto RIt = ResultNodes.find(&E);
+    if (RIt != ResultNodes.end()) {
+      Root = RIt->second.first;
+      Rest = RIt->second.second;
+    } else {
+      AbsNode R;
+      R.Kind = AbsNodeKind::CallResult;
+      R.Exact = LoopDepth == 0;
+      if (Sig && Sig->ReturnType.isRegionful())
+        R.StructName = Sig->ReturnType.StructName;
+      R.Origin = E.Callee;
+      R.Loc = E.loc();
+      Root = Nodes.add(R);
+      AbsNode S;
+      S.Kind = AbsNodeKind::CallRest;
+      S.Havocked = true;
+      S.Origin = E.Callee;
+      S.Loc = E.loc();
+      Rest = Nodes.add(S);
+      ResultNodes[&E] = {Root, Rest};
+    }
+    NodeSet Cohort{Root, Rest};
+    for (AbsNodeId M : Cohort) {
+      FieldEdge &W = G.Edges[M][Symbol{}];
+      W.Targets.insert(Cohort.begin(), Cohort.end());
+      W.Must = false;
+    }
+  }
+
+  // Per group with at least one argument slot: a bidirectional glue hub
+  // over everything reachable from the group's arguments (plus the result
+  // cohort when the result belongs to the group). The hub models every
+  // connection the callee may have created, including through objects it
+  // allocated itself.
+  std::map<size_t, std::vector<size_t>> Groups;
+  for (size_t I = 0; I < Slots.size(); ++I)
+    Groups[findRep(I)].push_back(I);
+  for (const auto &[Rep, Members] : Groups) {
+    NodeSet Reach;
+    for (size_t I : Members) {
+      const PointsTo &AV = ArgVals[Slots[I].ArgIndex];
+      NodeSet R = G.reachableFrom(AV.Targets);
+      Reach.insert(R.begin(), R.end());
+    }
+    bool HasResult = ResultRegionful && findRep(ResultSlot) == Rep;
+    if (HasResult) {
+      NodeSet R = G.reachableFrom({Root, Rest});
+      Reach.insert(R.begin(), R.end());
+    }
+    if (Reach.empty())
+      continue;
+
+    AbsNodeId Glue;
+    auto GIt = GlueNodes.find({&E, Rep});
+    if (GIt != GlueNodes.end()) {
+      Glue = GIt->second;
+    } else {
+      AbsNode N;
+      N.Kind = AbsNodeKind::Glue;
+      N.Havocked = true;
+      N.Origin = E.Callee;
+      N.Loc = E.loc();
+      Glue = Nodes.add(N);
+      GlueNodes[{&E, Rep}] = Glue;
+    }
+
+    for (AbsNodeId N : Reach) {
+      Nodes[N].Havocked = true;
+      auto &FieldMap = G.Edges[N];
+      // The callee may have rewritten any field of any reachable object
+      // to point anywhere in the (merged) region: degrade every named
+      // entry and widen it with the hub.
+      for (auto &[Field, Edge] : FieldMap) {
+        Edge.Must = false;
+        if (Field.isValid())
+          Edge.Targets.insert(Glue);
+      }
+      FieldEdge &W = FieldMap[Symbol{}];
+      W.Targets.insert(Glue);
+      W.Must = false;
+      FieldEdge &GW = G.Edges[Glue][Symbol{}];
+      GW.Targets.insert(N);
+      GW.Must = false;
+    }
+    G.Edges[Glue][Symbol{}].Targets.insert(Glue);
+  }
+
+  if (!ResultRegionful)
+    return PointsTo{};
+  PointsTo V;
+  V.Targets = {Root};
+  V.Definite = Sig && Sig->ReturnType.isStruct() && Nodes[Root].Exact;
+  return V;
+}
+
+bool FnAnalyzer::fieldIsIso(AbsNodeId N, Symbol F) const {
+  Symbol SN = Nodes[N].StructName;
+  if (!SN.isValid())
+    return false;
+  const StructInfo *SI = CP.Structs.lookup(SN);
+  if (!SI)
+    return false;
+  const FieldInfo *FI = SI->findField(F);
+  return FI && FI->Iso;
+}
+
+void FnAnalyzer::assignField(const PointsTo &Base, Symbol F,
+                             const PointsTo &V) {
+  bool Strong = Base.Definite && Base.Targets.size() == 1;
+  for (AbsNodeId N : Base.Targets) {
+    bool NodeStrong = Strong && Nodes[N].Exact && !Nodes[N].Havocked;
+    G.writeField(N, F, V, NodeStrong, fieldIsIso(N, F));
+    // Keep cohorts closed under mutation: if this node belongs to an
+    // entry/call cohort (its wildcard mentions a hub), objects denoted by
+    // cohort mates may be the one actually written — make the value
+    // reachable from the hub so their may-information stays sound.
+    auto It = G.Edges.find(N);
+    if (It == G.Edges.end())
+      continue;
+    auto WIt = It->second.find(Symbol{});
+    if (WIt == It->second.end())
+      continue;
+    NodeSet Hubs;
+    for (AbsNodeId T : WIt->second.Targets)
+      if (isHubKind(Nodes[T].Kind))
+        Hubs.insert(T);
+    for (AbsNodeId H : Hubs)
+      for (AbsNodeId T : V.Targets)
+        G.addMayEdge(H, Symbol{}, T);
+  }
+}
+
+std::string FnAnalyzer::describeNode(AbsNodeId N) const {
+  const AbsNode &Node = Nodes[N];
+  std::ostringstream OS;
+  switch (Node.Kind) {
+  case AbsNodeKind::Alloc:
+    OS << "the object allocated at " << toString(Node.Loc);
+    break;
+  case AbsNodeKind::Param:
+    OS << "parameter `" << Names.spelling(Node.Origin) << "`'s object";
+    break;
+  case AbsNodeKind::Recv:
+    OS << "the object received at " << toString(Node.Loc);
+    break;
+  case AbsNodeKind::CallResult:
+    OS << "the object returned by `" << Names.spelling(Node.Origin)
+       << "` at " << toString(Node.Loc);
+    break;
+  default:
+    OS << "an unknown object";
+    break;
+  }
+  return OS.str();
+}
+
+std::string FnAnalyzer::renderMustPath(
+    Symbol Var, AbsNodeId Target,
+    const std::map<AbsNodeId, RegionGraph::MustStep> &Closure) const {
+  std::vector<Symbol> Fields;
+  AbsNodeId N = Target;
+  while (true) {
+    auto It = Closure.find(N);
+    if (It == Closure.end() || !It->second.Prev.isValid())
+      break;
+    Fields.push_back(It->second.Field);
+    N = It->second.Prev;
+  }
+  std::string Out = "`" + Names.spelling(Var);
+  for (auto It = Fields.rbegin(); It != Fields.rend(); ++It)
+    Out += "." + Names.spelling(*It);
+  Out += "`";
+  return Out;
+}
+
+void FnAnalyzer::classify(const IfDisconnectedExpr &E) {
+  SiteReport R;
+  R.Site = &E;
+  R.Function = Fn.Sig.Name;
+  R.Loc = E.loc();
+  R.Verdict = DisconnectVerdict::Unknown;
+
+  PointsTo PA, PB;
+  if (auto It = G.Vars.find(E.VarA); It != G.Vars.end())
+    PA = It->second;
+  if (auto It = G.Vars.find(E.VarB); It != G.Vars.end())
+    PB = It->second;
+
+  // Must-connected: definite single exact operands whose non-iso must
+  // closures share a node.
+  if (R.Verdict == DisconnectVerdict::Unknown && PA.Definite &&
+      PA.Targets.size() == 1 && PB.Definite && PB.Targets.size() == 1) {
+    AbsNodeId NA = *PA.Targets.begin();
+    AbsNodeId NB = *PB.Targets.begin();
+    if (NA == NB) {
+      R.Verdict = DisconnectVerdict::MustConnected;
+      R.Witness = "`" + Names.spelling(E.VarA) + "` and `" +
+                  Names.spelling(E.VarB) + "` are the same object";
+    } else if (Nodes[NA].Exact && Nodes[NB].Exact) {
+      auto CA = G.mustClosure(NA, Nodes);
+      auto CB = G.mustClosure(NB, Nodes);
+      AbsNodeId Shared;
+      for (const auto &[N, Step] : CA)
+        if (CB.contains(N)) {
+          Shared = N;
+          break;
+        }
+      if (Shared.isValid()) {
+        R.Verdict = DisconnectVerdict::MustConnected;
+        R.Witness = renderMustPath(E.VarA, Shared, CA) + " and " +
+                    renderMustPath(E.VarB, Shared, CB) + " reach " +
+                    describeNode(Shared);
+      }
+    }
+  }
+
+  // Must-disconnected: disjoint full-edge reach over sides made purely of
+  // local, never-call-exposed allocations, closed under incoming edges,
+  // with no iso edges inside (see the file header for why each condition
+  // is needed for agreement with the refcount algorithm).
+  if (R.Verdict == DisconnectVerdict::Unknown && !PA.Targets.empty() &&
+      !PB.Targets.empty()) {
+    NodeSet RA = G.reachableFrom(PA.Targets);
+    NodeSet RB = G.reachableFrom(PB.Targets);
+    bool Disjoint = std::none_of(RA.begin(), RA.end(), [&](AbsNodeId N) {
+      return RB.contains(N);
+    });
+    auto sideOk = [&](const NodeSet &Side) {
+      for (AbsNodeId N : Side) {
+        const AbsNode &Node = Nodes[N];
+        if (Node.Kind != AbsNodeKind::Alloc || Node.Havocked)
+          return false;
+        auto It = G.Edges.find(N);
+        if (It == G.Edges.end())
+          continue;
+        for (const auto &[Field, Edge] : It->second)
+          if (Edge.Iso && !Edge.Targets.empty())
+            return false;
+      }
+      return true;
+    };
+    if (Disjoint && sideOk(RA) && sideOk(RB) &&
+        !G.hasExternalEdgeInto(RA) && !G.hasExternalEdgeInto(RB))
+      R.Verdict = DisconnectVerdict::MustDisconnected;
+  }
+
+  if (!SiteVerdicts.contains(&E))
+    SiteOrder.push_back(&E);
+  SiteVerdicts[&E] = std::move(R);
+}
+
+void FnAnalyzer::evalIfDisconnected(const IfDisconnectedExpr &E,
+                                    PointsTo &Value) {
+  classify(E);
+  // Both branches are analyzed regardless of the verdict (the dead one is
+  // reported, not skipped): the runtime split in the then-branch does not
+  // change the physical heap, so no abstract transfer is needed beyond
+  // the join.
+  RegionGraph Saved = G;
+  PointsTo VThen = evaluate(E.Then.get());
+  RegionGraph GThen = std::move(G);
+  G = std::move(Saved);
+  PointsTo VElse = E.Else ? evaluate(E.Else.get()) : PointsTo{};
+  G.join(GThen);
+  Value = joinPointsTo(VThen, VElse);
+}
+
+PointsTo FnAnalyzer::evaluate(const Expr *E) {
+  if (!E)
+    return PointsTo{};
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+  case ExprKind::UnitLit:
+  case ExprKind::NoneLit: {
+    PointsTo V;
+    V.Definite = E->kind() == ExprKind::NoneLit;
+    return V;
+  }
+  case ExprKind::VarRef: {
+    const auto &VR = cast<VarRefExpr>(*E);
+    auto It = G.Vars.find(VR.Name);
+    return It == G.Vars.end() ? PointsTo{} : It->second;
+  }
+  case ExprKind::FieldRef: {
+    const auto &FR = cast<FieldRefExpr>(*E);
+    PointsTo Base = evaluate(FR.Base.get());
+    return G.readField(Base.Targets, FR.Field, Nodes);
+  }
+  case ExprKind::AssignVar: {
+    const auto &AV = cast<AssignVarExpr>(*E);
+    G.Vars[AV.Name] = evaluate(AV.Value.get());
+    return PointsTo{};
+  }
+  case ExprKind::AssignField: {
+    const auto &AF = cast<AssignFieldExpr>(*E);
+    PointsTo Base = evaluate(AF.Base.get());
+    PointsTo V = evaluate(AF.Value.get());
+    assignField(Base, AF.Field, V);
+    return PointsTo{};
+  }
+  case ExprKind::Let: {
+    const auto &L = cast<LetExpr>(*E);
+    G.Vars[L.Name] = evaluate(L.Init.get());
+    return evaluate(L.Body.get());
+  }
+  case ExprKind::LetSome: {
+    const auto &LS = cast<LetSomeExpr>(*E);
+    PointsTo Scrut = evaluate(LS.Scrutinee.get());
+    RegionGraph Saved = G;
+    G.Vars[LS.Name] = Scrut;
+    PointsTo VSome = evaluate(LS.SomeBody.get());
+    RegionGraph GSome = std::move(G);
+    G = std::move(Saved);
+    PointsTo VNone =
+        LS.NoneBody ? evaluate(LS.NoneBody.get()) : PointsTo{};
+    G.join(GSome);
+    return joinPointsTo(VSome, VNone);
+  }
+  case ExprKind::If: {
+    const auto &I = cast<IfExpr>(*E);
+    evaluate(I.Cond.get());
+    RegionGraph Saved = G;
+    PointsTo VThen = evaluate(I.Then.get());
+    RegionGraph GThen = std::move(G);
+    G = std::move(Saved);
+    PointsTo VElse = I.Else ? evaluate(I.Else.get()) : PointsTo{};
+    G.join(GThen);
+    return joinPointsTo(VThen, VElse);
+  }
+  case ExprKind::IfDisconnected: {
+    PointsTo V;
+    evalIfDisconnected(cast<IfDisconnectedExpr>(*E), V);
+    return V;
+  }
+  case ExprKind::While: {
+    const auto &W = cast<WhileExpr>(*E);
+    evaluate(W.Cond.get());
+    RegionGraph H = G;
+    // Monotone join-at-head fixpoint; the domain is finite once all sites
+    // have materialized their nodes, so this terminates well inside the
+    // iteration cap.
+    for (int Iter = 0; Iter < 64; ++Iter) {
+      ++LoopDepth;
+      G = H;
+      evaluate(W.Body.get());
+      evaluate(W.Cond.get());
+      --LoopDepth;
+      RegionGraph Next = H;
+      Next.join(G);
+      if (Next == H)
+        break;
+      H = std::move(Next);
+    }
+    G = std::move(H);
+    return PointsTo{};
+  }
+  case ExprKind::Seq: {
+    const auto &S = cast<SeqExpr>(*E);
+    PointsTo Last;
+    for (const ExprPtr &Elem : S.Elems)
+      Last = evaluate(Elem.get());
+    return Last;
+  }
+  case ExprKind::New:
+    return evalNew(cast<NewExpr>(*E));
+  case ExprKind::SomeExpr:
+    return evaluate(cast<SomeExpr>(*E).Operand.get());
+  case ExprKind::IsNone:
+    evaluate(cast<IsNoneExpr>(*E).Operand.get());
+    return PointsTo{};
+  case ExprKind::Send:
+    evaluate(cast<SendExpr>(*E).Operand.get());
+    return PointsTo{};
+  case ExprKind::Recv:
+    return evalRecv(cast<RecvExpr>(*E));
+  case ExprKind::Call:
+    return evalCall(cast<CallExpr>(*E));
+  case ExprKind::Binary: {
+    const auto &B = cast<BinaryExpr>(*E);
+    evaluate(B.Lhs.get());
+    evaluate(B.Rhs.get());
+    return PointsTo{};
+  }
+  case ExprKind::Unary:
+    evaluate(cast<UnaryExpr>(*E).Operand.get());
+    return PointsTo{};
+  }
+  return PointsTo{};
+}
+
+void FnAnalyzer::run() {
+  buildEntryState();
+  evaluate(Fn.Sig.Decl->Body.get());
+
+  for (const IfDisconnectedExpr *Site : SiteOrder) {
+    const SiteReport &R = SiteVerdicts.at(Site);
+    Report.Sites.push_back(R);
+
+    std::string Args = "`if disconnected(" + Names.spelling(Site->VarA) +
+                       ", " + Names.spelling(Site->VarB) + ")`";
+    AnalysisDiag D;
+    D.Kind = AnalysisDiagKind::SiteVerdict;
+    D.Loc = R.Loc;
+    switch (R.Verdict) {
+    case DisconnectVerdict::MustDisconnected:
+      D.Message = Args + " is must-disconnected: the then-branch always "
+                         "runs and the traversal can be elided";
+      break;
+    case DisconnectVerdict::MustConnected:
+      D.Message = Args + " is must-connected: the else-branch always runs "
+                         "(witness: " +
+                  R.Witness + ")";
+      break;
+    case DisconnectVerdict::Unknown:
+      D.Message = Args + " is unknown: the runtime traversal decides";
+      break;
+    }
+    Report.Diags.push_back(D);
+
+    if (R.Verdict != DisconnectVerdict::Unknown) {
+      const Expr *Dead = R.Verdict == DisconnectVerdict::MustDisconnected
+                             ? Site->Else.get()
+                             : Site->Then.get();
+      const char *Which =
+          R.Verdict == DisconnectVerdict::MustDisconnected ? "else" : "then";
+      if (Dead) {
+        AnalysisDiag DB;
+        DB.Kind = AnalysisDiagKind::DeadBranch;
+        DB.Loc = Dead->loc();
+        DB.Message = std::string("dead ") + Which +
+                     "-branch: the `if disconnected` at " + toString(R.Loc) +
+                     " is " + toString(R.Verdict);
+        Report.Diags.push_back(DB);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Syntactic lints
+//===----------------------------------------------------------------------===//
+
+bool mentionsVar(const Expr *E, Symbol Var) {
+  if (!E)
+    return false;
+  switch (E->kind()) {
+  case ExprKind::VarRef:
+    return cast<VarRefExpr>(*E).Name == Var;
+  case ExprKind::FieldRef:
+    return mentionsVar(cast<FieldRefExpr>(*E).Base.get(), Var);
+  case ExprKind::AssignVar: {
+    const auto &AV = cast<AssignVarExpr>(*E);
+    return AV.Name == Var || mentionsVar(AV.Value.get(), Var);
+  }
+  case ExprKind::AssignField: {
+    const auto &AF = cast<AssignFieldExpr>(*E);
+    return mentionsVar(AF.Base.get(), Var) ||
+           mentionsVar(AF.Value.get(), Var);
+  }
+  case ExprKind::Let: {
+    const auto &L = cast<LetExpr>(*E);
+    return mentionsVar(L.Init.get(), Var) || mentionsVar(L.Body.get(), Var);
+  }
+  case ExprKind::LetSome: {
+    const auto &LS = cast<LetSomeExpr>(*E);
+    return mentionsVar(LS.Scrutinee.get(), Var) ||
+           mentionsVar(LS.SomeBody.get(), Var) ||
+           mentionsVar(LS.NoneBody.get(), Var);
+  }
+  case ExprKind::If: {
+    const auto &I = cast<IfExpr>(*E);
+    return mentionsVar(I.Cond.get(), Var) ||
+           mentionsVar(I.Then.get(), Var) || mentionsVar(I.Else.get(), Var);
+  }
+  case ExprKind::IfDisconnected: {
+    const auto &ID = cast<IfDisconnectedExpr>(*E);
+    return ID.VarA == Var || ID.VarB == Var ||
+           mentionsVar(ID.Then.get(), Var) ||
+           mentionsVar(ID.Else.get(), Var);
+  }
+  case ExprKind::While: {
+    const auto &W = cast<WhileExpr>(*E);
+    return mentionsVar(W.Cond.get(), Var) || mentionsVar(W.Body.get(), Var);
+  }
+  case ExprKind::Seq:
+    for (const ExprPtr &Elem : cast<SeqExpr>(*E).Elems)
+      if (mentionsVar(Elem.get(), Var))
+        return true;
+    return false;
+  case ExprKind::New:
+    for (const ExprPtr &A : cast<NewExpr>(*E).Args)
+      if (mentionsVar(A.get(), Var))
+        return true;
+    return false;
+  case ExprKind::SomeExpr:
+    return mentionsVar(cast<SomeExpr>(*E).Operand.get(), Var);
+  case ExprKind::IsNone:
+    return mentionsVar(cast<IsNoneExpr>(*E).Operand.get(), Var);
+  case ExprKind::Send:
+    return mentionsVar(cast<SendExpr>(*E).Operand.get(), Var);
+  case ExprKind::Call:
+    for (const ExprPtr &A : cast<CallExpr>(*E).Args)
+      if (mentionsVar(A.get(), Var))
+        return true;
+    return false;
+  case ExprKind::Binary: {
+    const auto &B = cast<BinaryExpr>(*E);
+    return mentionsVar(B.Lhs.get(), Var) || mentionsVar(B.Rhs.get(), Var);
+  }
+  case ExprKind::Unary:
+    return mentionsVar(cast<UnaryExpr>(*E).Operand.get(), Var);
+  default:
+    return false;
+  }
+}
+
+/// Tracks definitely-consumed variables through one function body.
+class LintWalker {
+public:
+  LintWalker(const Program &P, std::vector<AnalysisDiag> &Diags)
+      : P(P), Diags(Diags) {}
+
+  void walk(const Expr *E);
+
+private:
+  const Program &P;
+  std::vector<AnalysisDiag> &Diags;
+  std::map<Symbol, SourceLoc> Consumed; ///< var -> consuming site
+
+  void flagUse(Symbol Var, SourceLoc Loc) {
+    auto It = Consumed.find(Var);
+    if (It == Consumed.end())
+      return;
+    AnalysisDiag D;
+    D.Kind = AnalysisDiagKind::UseAfterConsume;
+    D.Loc = Loc;
+    D.Message = "`" + P.Names.spelling(Var) +
+                "` is used here but its region was consumed at " +
+                toString(It->second);
+    Diags.push_back(D);
+  }
+
+  static std::map<Symbol, SourceLoc>
+  intersect(const std::map<Symbol, SourceLoc> &A,
+            const std::map<Symbol, SourceLoc> &B) {
+    std::map<Symbol, SourceLoc> Out;
+    for (const auto &[Var, Loc] : A)
+      if (B.contains(Var))
+        Out.emplace(Var, Loc);
+    return Out;
+  }
+};
+
+void LintWalker::walk(const Expr *E) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprKind::VarRef:
+    flagUse(cast<VarRefExpr>(*E).Name, E->loc());
+    return;
+  case ExprKind::FieldRef:
+    walk(cast<FieldRefExpr>(*E).Base.get());
+    return;
+  case ExprKind::AssignVar: {
+    const auto &AV = cast<AssignVarExpr>(*E);
+    walk(AV.Value.get());
+    Consumed.erase(AV.Name); // Rebound: the old region no longer matters.
+    return;
+  }
+  case ExprKind::AssignField: {
+    const auto &AF = cast<AssignFieldExpr>(*E);
+    walk(AF.Base.get());
+    walk(AF.Value.get());
+    return;
+  }
+  case ExprKind::Let: {
+    const auto &L = cast<LetExpr>(*E);
+    walk(L.Init.get());
+    if (const auto *N = dyn_cast<NewExpr>(L.Init.get());
+        N && N->Args.empty() && !mentionsVar(L.Body.get(), L.Name)) {
+      AnalysisDiag D;
+      D.Kind = AnalysisDiagKind::NeverPopulated;
+      D.Loc = E->loc();
+      D.Message = "the region of `" + P.Names.spelling(L.Name) +
+                  "` (fresh `new " + P.Names.spelling(N->StructName) +
+                  "`) is never populated or read";
+      Diags.push_back(D);
+    }
+    Consumed.erase(L.Name);
+    walk(L.Body.get());
+    return;
+  }
+  case ExprKind::LetSome: {
+    const auto &LS = cast<LetSomeExpr>(*E);
+    walk(LS.Scrutinee.get());
+    auto Saved = Consumed;
+    Consumed.erase(LS.Name);
+    walk(LS.SomeBody.get());
+    auto AfterSome = std::move(Consumed);
+    Consumed = Saved;
+    walk(LS.NoneBody.get());
+    Consumed = intersect(AfterSome, Consumed);
+    return;
+  }
+  case ExprKind::If: {
+    const auto &I = cast<IfExpr>(*E);
+    walk(I.Cond.get());
+    auto Saved = Consumed;
+    walk(I.Then.get());
+    auto AfterThen = std::move(Consumed);
+    Consumed = Saved;
+    walk(I.Else.get());
+    Consumed = intersect(AfterThen, Consumed);
+    return;
+  }
+  case ExprKind::IfDisconnected: {
+    const auto &ID = cast<IfDisconnectedExpr>(*E);
+    flagUse(ID.VarA, E->loc());
+    flagUse(ID.VarB, E->loc());
+    auto Saved = Consumed;
+    walk(ID.Then.get());
+    auto AfterThen = std::move(Consumed);
+    Consumed = Saved;
+    walk(ID.Else.get());
+    Consumed = intersect(AfterThen, Consumed);
+    return;
+  }
+  case ExprKind::While: {
+    const auto &W = cast<WhileExpr>(*E);
+    walk(W.Cond.get());
+    auto Saved = Consumed;
+    walk(W.Body.get());
+    Consumed = std::move(Saved); // The body may not run at all.
+    return;
+  }
+  case ExprKind::Seq:
+    for (const ExprPtr &Elem : cast<SeqExpr>(*E).Elems)
+      walk(Elem.get());
+    return;
+  case ExprKind::New:
+    for (const ExprPtr &A : cast<NewExpr>(*E).Args)
+      walk(A.get());
+    return;
+  case ExprKind::SomeExpr:
+    walk(cast<SomeExpr>(*E).Operand.get());
+    return;
+  case ExprKind::IsNone:
+    walk(cast<IsNoneExpr>(*E).Operand.get());
+    return;
+  case ExprKind::Send: {
+    const auto &S = cast<SendExpr>(*E);
+    walk(S.Operand.get());
+    if (const auto *V = dyn_cast<VarRefExpr>(S.Operand.get()))
+      Consumed.emplace(V->Name, E->loc());
+    return;
+  }
+  case ExprKind::Recv:
+    return;
+  case ExprKind::Call: {
+    const auto &C = cast<CallExpr>(*E);
+    for (const ExprPtr &A : C.Args)
+      walk(A.get());
+    if (const FnDecl *Callee = P.findFunction(C.Callee))
+      for (size_t I = 0; I < C.Args.size() && I < Callee->Params.size();
+           ++I)
+        if (const auto *V = dyn_cast<VarRefExpr>(C.Args[I].get());
+            V && Callee->isConsumed(Callee->Params[I].Name))
+          Consumed.emplace(V->Name, E->loc());
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto &B = cast<BinaryExpr>(*E);
+    walk(B.Lhs.get());
+    walk(B.Rhs.get());
+    return;
+  }
+  case ExprKind::Unary:
+    walk(cast<UnaryExpr>(*E).Operand.get());
+    return;
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+std::vector<AnalysisDiag> lintProgram(const Program &P) {
+  std::vector<AnalysisDiag> Diags;
+  for (const FnDecl &F : P.Functions) {
+    LintWalker W(P, Diags);
+    W.walk(F.Body.get());
+  }
+  return Diags;
+}
+
+//===----------------------------------------------------------------------===//
+// Program analysis and rendering
+//===----------------------------------------------------------------------===//
+
+DisconnectVerdictTable AnalysisReport::verdictTable() const {
+  DisconnectVerdictTable T;
+  for (const SiteReport &S : Sites)
+    T[S.Site] = S.Verdict;
+  return T;
+}
+
+AnalysisReport analyzeProgram(const CheckedProgram &CP) {
+  AnalysisReport Report;
+  for (const FnDecl &F : CP.Prog->Functions) {
+    auto It = CP.Functions.find(F.Name);
+    if (It == CP.Functions.end())
+      continue;
+    FnAnalyzer A(CP, It->second, Report);
+    A.run();
+  }
+  auto Lints = lintProgram(*CP.Prog);
+  Report.Diags.insert(Report.Diags.end(), Lints.begin(), Lints.end());
+  return Report;
+}
+
+static std::string basenameOf(std::string_view Path) {
+  size_t Slash = Path.find_last_of('/');
+  return std::string(Slash == std::string_view::npos
+                         ? Path
+                         : Path.substr(Slash + 1));
+}
+
+static int diagRank(AnalysisDiagKind K) {
+  switch (K) {
+  case AnalysisDiagKind::SiteVerdict:
+    return 0;
+  case AnalysisDiagKind::DeadBranch:
+    return 1;
+  case AnalysisDiagKind::UseAfterConsume:
+    return 2;
+  case AnalysisDiagKind::NeverPopulated:
+    return 3;
+  }
+  return 4;
+}
+
+std::string renderDiags(const std::vector<AnalysisDiag> &Diags,
+                        std::string_view FileName) {
+  std::string Base = basenameOf(FileName);
+  std::vector<const AnalysisDiag *> Sorted;
+  Sorted.reserve(Diags.size());
+  for (const AnalysisDiag &D : Diags)
+    Sorted.push_back(&D);
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const AnalysisDiag *A, const AnalysisDiag *B) {
+                     auto KeyA = std::make_tuple(A->Loc.Line, A->Loc.Column,
+                                                 diagRank(A->Kind));
+                     auto KeyB = std::make_tuple(B->Loc.Line, B->Loc.Column,
+                                                 diagRank(B->Kind));
+                     return KeyA < KeyB;
+                   });
+  std::string Out;
+  for (const AnalysisDiag *D : Sorted) {
+    Out += Base + ":" + toString(D->Loc) + ": " + D->Message + "\n";
+  }
+  return Out;
+}
+
+SourceAnalysis analyzeSourceText(std::string_view Source,
+                                 std::string_view FileName) {
+  SourceAnalysis Out;
+  std::string Base = basenameOf(FileName);
+
+  DiagnosticEngine Diags;
+  auto ProgOpt = parseProgram(Source, Diags);
+  if (!ProgOpt) {
+    Out.HardError = true;
+    Out.Rendered = Base + ": error: parsing failed\n" + Diags.renderAll();
+    return Out;
+  }
+  Program P = std::move(*ProgOpt);
+  StructTable Structs;
+  if (!Structs.build(P, Diags) || !resolveProgram(P, Structs, Diags)) {
+    Out.HardError = true;
+    Out.Rendered = Base + ": error: resolution failed\n" + Diags.renderAll();
+    return Out;
+  }
+
+  auto Checked = checkProgram(P);
+  if (!Checked) {
+    // The region checker rejected the program: fall back to the syntactic
+    // lints, which usually explain the misuse more directly.
+    auto Lints = lintProgram(P);
+    Out.Rendered = Base + ": note: region check failed (" +
+                   Checked.error().Message + " at " +
+                   toString(Checked.error().Loc) +
+                   "); syntactic lints only\n" + renderDiags(Lints, FileName);
+    return Out;
+  }
+  Out.CheckedOk = true;
+
+  AnalysisReport R = analyzeProgram(*Checked);
+  for (const SiteReport &S : R.Sites) {
+    switch (S.Verdict) {
+    case DisconnectVerdict::MustDisconnected:
+      ++Out.MustDisconnectedSites;
+      break;
+    case DisconnectVerdict::MustConnected:
+      ++Out.MustConnectedSites;
+      break;
+    case DisconnectVerdict::Unknown:
+      ++Out.UnknownSites;
+      break;
+    }
+  }
+  std::ostringstream Header;
+  Header << Base << ": analyzed " << Checked->Functions.size()
+         << " function(s), " << R.Sites.size()
+         << " `if disconnected` site(s): " << Out.MustDisconnectedSites
+         << " must-disconnected, " << Out.MustConnectedSites
+         << " must-connected, " << Out.UnknownSites << " unknown\n";
+  Out.Rendered = Header.str() + renderDiags(R.Diags, FileName);
+  return Out;
+}
+
+} // namespace fearless

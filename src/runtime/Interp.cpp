@@ -248,6 +248,34 @@ private:
       return stuck("reservation violation: 'if disconnected' argument "
                    "outside the reservation");
     ++S.Stats->DisconnectChecks;
+
+    // Elision: when the static region-graph analysis proved this site's
+    // outcome, skip the traversal entirely (the whole point of the
+    // must-* verdicts). The cross-check re-runs the real traversal and
+    // treats disagreement as a stuck state — it must never fire on
+    // sound verdicts, and the property tests lean on that.
+    if (S.ElideDisconnect && S.StaticVerdicts) {
+      auto It = S.StaticVerdicts->find(&E);
+      if (It != S.StaticVerdicts->end() &&
+          It->second != DisconnectVerdict::Unknown) {
+        bool Disc = It->second == DisconnectVerdict::MustDisconnected;
+        if (S.CrossCheckElision) {
+          DisconnectOutcome Real =
+              S.UseNaiveDisconnect
+                  ? checkDisconnectedNaive(*S.TheHeap, A, B, T.Scratch)
+                  : checkDisconnectedRefCount(*S.TheHeap, A, B, T.Scratch);
+          if (Real.Disconnected != Disc)
+            return stuck("static 'if disconnected' verdict contradicts "
+                         "the runtime traversal (analysis bug)");
+        }
+        ++S.Stats->DisconnectElided;
+        if (Disc)
+          ++S.Stats->DisconnectTaken;
+        evaluate(Disc ? E.Then.get() : E.Else.get());
+        return StepOutcome::Progress;
+      }
+    }
+
     DisconnectOutcome Out =
         S.UseNaiveDisconnect
             ? checkDisconnectedNaive(*S.TheHeap, A, B, T.Scratch)

@@ -19,6 +19,7 @@
 #ifndef FEARLESS_RUNTIME_INTERP_H
 #define FEARLESS_RUNTIME_INTERP_H
 
+#include "analysis/Verdict.h"
 #include "ast/Ast.h"
 #include "runtime/Heap.h"
 #include "runtime/Scratch.h"
@@ -170,6 +171,15 @@ struct InterpServices {
   const std::map<const Expr *, Type> *SendTypes = nullptr;
   bool CheckReservations = true;
   bool UseNaiveDisconnect = false;
+  /// Per-site verdicts from the static region-graph analysis
+  /// (analysis/StaticDisconnect.h). Null when the program was not
+  /// analyzed.
+  const DisconnectVerdictTable *StaticVerdicts = nullptr;
+  /// Skip the dynamic traversal for sites the table classifies as must-*.
+  bool ElideDisconnect = false;
+  /// Run the real traversal anyway and fail the thread on disagreement
+  /// with the static verdict (debug builds / property tests).
+  bool CrossCheckElision = false;
 };
 
 /// Executes one small step of \p T. On StepOutcome::Stuck, T.Error holds

@@ -163,6 +163,9 @@ Expected<MachineSummary> Machine::run(uint64_t Seed) {
   Services.SendTypes = &Checked.SendTypes;
   Services.CheckReservations = Opts.CheckReservations;
   Services.UseNaiveDisconnect = Opts.UseNaiveDisconnect;
+  Services.StaticVerdicts = Opts.StaticVerdicts;
+  Services.ElideDisconnect = Opts.ElideDisconnect;
+  Services.CrossCheckElision = Opts.CrossCheckElision;
 
   uint64_t Rng = Seed ? Seed : 0;
   auto NextRandom = [&Rng]() {

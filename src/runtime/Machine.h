@@ -43,6 +43,21 @@ struct MachineOptions {
   /// Use the naive exact `if disconnected` instead of the §5.2 refcount
   /// algorithm (for cross-validation and the bench baseline).
   bool UseNaiveDisconnect = false;
+  /// Per-site verdicts from the static region-graph analysis; must
+  /// outlive the machine. Null disables elision regardless of
+  /// ElideDisconnect.
+  const DisconnectVerdictTable *StaticVerdicts = nullptr;
+  /// Answer must-* `if disconnected` sites from StaticVerdicts without
+  /// running the traversal (`fearlessc run --no-elide` turns this off).
+  bool ElideDisconnect = true;
+  /// Re-run the real traversal on every elided check and fail on
+  /// disagreement. Defaults on in debug builds; tests enable it
+  /// explicitly elsewhere.
+#ifndef NDEBUG
+  bool CrossCheckElision = true;
+#else
+  bool CrossCheckElision = false;
+#endif
   uint64_t MaxSteps = 500'000'000;
   /// Soundness-testing hook: run after every small step; a returned
   /// message aborts the run. Tests install the §6 invariant validators

@@ -16,6 +16,7 @@ void RuntimeMetrics::mergeThread(const MachineStats &S) {
   ReservationChecks += S.ReservationChecks;
   DisconnectChecks += S.DisconnectChecks;
   DisconnectTaken += S.DisconnectTaken;
+  DisconnectElided += S.DisconnectElided;
   DisconnectObjectsVisited += S.DisconnectObjectsVisited;
   DisconnectEdgesTraversed += S.DisconnectEdgesTraversed;
 }
@@ -29,6 +30,7 @@ void RuntimeMetrics::forEach(
   Fn("reservation_checks", ReservationChecks);
   Fn("disconnect_checks", DisconnectChecks);
   Fn("disconnect_taken", DisconnectTaken);
+  Fn("elided_checks", DisconnectElided);
   Fn("disconnect_objects_visited", DisconnectObjectsVisited);
   Fn("disconnect_edges_traversed", DisconnectEdgesTraversed);
   Fn("threads_spawned", ThreadsSpawned);

@@ -31,6 +31,8 @@ struct MachineStats {
   uint64_t DisconnectChecks = 0;
   /// `if disconnected` checks that actually found the graphs disjoint.
   uint64_t DisconnectTaken = 0;
+  /// Checks answered from the static verdict table with no traversal.
+  uint64_t DisconnectElided = 0;
   uint64_t DisconnectObjectsVisited = 0;
   uint64_t DisconnectEdgesTraversed = 0;
   uint64_t Sends = 0;
@@ -51,6 +53,7 @@ struct RuntimeMetrics {
   uint64_t ReservationChecks = 0;
   uint64_t DisconnectChecks = 0;
   uint64_t DisconnectTaken = 0;
+  uint64_t DisconnectElided = 0;
   uint64_t DisconnectObjectsVisited = 0;
   uint64_t DisconnectEdgesTraversed = 0;
 

@@ -14,7 +14,7 @@
 #
 # Usage: tools/bench.sh [options]
 #   -B DIR        build directory                (default: <repo>/build)
-#   -o FILE       merged output file             (default: <repo>/BENCH_pr2.json)
+#   -o FILE       merged output file             (default: <repo>/BENCH_pr3.json)
 #   -t SECONDS    --benchmark_min_time per bench (default: 0.05)
 #   -f REGEX      --benchmark_filter passed through
 #   --smoke       CI smoke mode: min_time 0.01, output under the build
@@ -32,7 +32,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 BUILD="$ROOT/build"
-OUT="$ROOT/BENCH_pr2.json"
+OUT="$ROOT/BENCH_pr3.json"
 MIN_TIME="0.05"
 FILTER=""
 SMOKE=0

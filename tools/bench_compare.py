@@ -39,6 +39,42 @@ def load(path):
     return entries
 
 
+def counter_rows(bc, cc):
+    """Yield (key, base_val, cur_val) for every numeric counter in either
+    run.
+
+    A key present on only one side yields None for the missing value: a
+    new or removed metric is an informational row, never a KeyError and
+    never a regression. (Counters appear and disappear across PRs — e.g.
+    a new elision counter exists only in the newer baseline.)
+    """
+    for k in sorted(set(bc) | set(cc)):
+        if k in ("cpu_time", "real_time", "iterations"):
+            continue
+        b, c = bc.get(k), cc.get(k)
+        if b is not None and not isinstance(b, (int, float)):
+            continue
+        if c is not None and not isinstance(c, (int, float)):
+            continue
+        yield k, b, c
+
+
+def self_test():
+    """Sanity-check counter_rows on baselines with mismatched counters."""
+    bc = {"allocs_per_iter": 0, "gone": 7, "cpu_time": 12.5, "name": "x"}
+    cc = {"allocs_per_iter": 1, "elided_checks": 3, "cpu_time": 11.0}
+    rows = list(counter_rows(bc, cc))
+    assert rows == [
+        ("allocs_per_iter", 0, 1),
+        ("elided_checks", None, 3),
+        ("gone", 7, None),
+    ], rows
+    # No numeric counters at all: no rows, no exceptions.
+    assert list(counter_rows({"name": "x"}, {})) == []
+    print("bench_compare self-test: OK")
+    return 0
+
+
 def fmt_time(ns):
     if ns >= 1e6:
         return f"{ns / 1e6:10.2f} ms"
@@ -51,13 +87,19 @@ def main():
     ap = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )
-    ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
     ap.add_argument("--threshold", type=float, default=1.25)
     ap.add_argument("--metric", choices=("cpu_time", "real_time"), default="cpu_time")
     ap.add_argument("--counters", action="store_true")
     ap.add_argument("--min-ns", type=float, default=0.0)
+    ap.add_argument("--self-test", action="store_true")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        ap.error("baseline and current are required unless --self-test")
 
     base = load(args.baseline)
     cur = load(args.current)
@@ -89,15 +131,13 @@ def main():
         if args.counters:
             bc = base[name].get("counters", base[name])
             cc = cur[name].get("counters", cur[name])
-            shared = sorted(
-                k
-                for k in set(bc) & set(cc)
-                if isinstance(bc[k], (int, float)) and isinstance(cc[k], (int, float))
-                and k not in ("cpu_time", "real_time", "iterations")
-            )
-            for k in shared:
-                if bc[k] != cc[k]:
-                    print(f"{''.ljust(width)}    {k}: {bc[k]:g} -> {cc[k]:g}")
+            for k, b_val, c_val in counter_rows(bc, cc):
+                if b_val is None:
+                    print(f"{''.ljust(width)}    {k}: (new) {c_val:g}")
+                elif c_val is None:
+                    print(f"{''.ljust(width)}    {k}: {b_val:g} (removed)")
+                elif b_val != c_val:
+                    print(f"{''.ljust(width)}    {k}: {b_val:g} -> {c_val:g}")
 
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))

@@ -32,11 +32,39 @@ run_pass() {
   (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${CTEST_ARGS[@]}")
 }
 
+# Static region-graph analysis over every example program plus the six
+# embedded samples. The analyzer must not crash, and a must-connected
+# verdict (a provably dead `if disconnected` then-branch) is a bug in the
+# example unless the example exists to demonstrate exactly that
+# (disconnect_static.fls).
+run_analyze() {
+  local name="$1" dir="$2"
+  local fc="$dir/tools/fearlessc"
+  echo "==> [$name] analyze (embedded samples)"
+  "$fc" analyze --samples | sed 's/^/    /'
+  for f in "$ROOT"/examples/*.fls; do
+    echo "==> [$name] analyze $(basename "$f")"
+    local out
+    out="$("$fc" analyze "$f")"
+    sed 's/^/    /' <<<"$out"
+    if [[ "$(basename "$f")" != "disconnect_static.fls" ]] &&
+       grep -q "is must-connected" <<<"$out"; then
+      echo "==> [$name] FAIL: unexpected must-connected verdict in $f" >&2
+      exit 1
+    fi
+  done
+}
+
 CTEST_ARGS=("$@")
 
+echo "==> [tools] bench_compare self-test"
+python3 "$ROOT/tools/bench_compare.py" --self-test
+
 run_pass "default" "$ROOT/build"
+run_analyze "default" "$ROOT/build"
 echo "==> [default] bench smoke"
 "$ROOT/tools/bench.sh" --smoke -B "$ROOT/build"
 run_pass "tsan" "$ROOT/build-tsan" -DFEARLESS_SANITIZE=thread
+run_analyze "tsan" "$ROOT/build-tsan"
 
 echo "==> all passes green"

@@ -4,9 +4,13 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// fearlessc — check, inspect, and run surface-language programs.
+// fearlessc — check, inspect, analyze, and run surface-language programs.
 //
 //   fearlessc check file.fls            parse + region-check + verify
+//   fearlessc analyze file.fls          static region-graph analysis:
+//                                       per-site disconnect verdicts and
+//                                       region lints (--samples analyzes
+//                                       every embedded sample instead)
 //   fearlessc run file.fls main [ints]  check, then run main(ints...)
 //   fearlessc sig file.fls              print every elaborated signature
 //   fearlessc derive file.fls fn        print fn's typing derivation
@@ -14,11 +18,13 @@
 //                                       (sll | dll | rbtree | message)
 //
 // Options: --no-oracle (naive unification search), --seed N (schedule),
-// --no-checks (erase dynamic reservation checks), --stats, --metrics
-// (runtime metrics as one JSON line on stdout).
+// --no-checks (erase dynamic reservation checks), --no-elide (keep the
+// dynamic traversal even for statically proven disconnect sites),
+// --stats, --metrics (runtime metrics as one JSON line on stdout).
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/StaticDisconnect.h"
 #include "driver/Driver.h"
 #include "runtime/Machine.h"
 
@@ -35,14 +41,17 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: fearlessc <check|run|sig|derive|sample> [args] [options]\n"
-      "  check  <file>                 parse + region-check + verify\n"
-      "  run    <file> <fn> [ints...]  check, then run fn(ints...)\n"
-      "  sig    <file>                 print elaborated signatures\n"
-      "  derive <file> <fn>            print fn's typing derivation\n"
-      "  dot    <file> <fn>            derivation as a Graphviz digraph\n"
-      "  sample <sll|dll|rbtree|message|trie|extras>  print a sample\n"
-      "options: --no-oracle --seed N --no-checks --stats --metrics\n");
+      "usage: fearlessc <check|analyze|run|sig|derive|sample> [args] "
+      "[options]\n"
+      "  check   <file>                parse + region-check + verify\n"
+      "  analyze <file>|--samples      static disconnect verdicts + lints\n"
+      "  run     <file> <fn> [ints...] check, then run fn(ints...)\n"
+      "  sig     <file>                print elaborated signatures\n"
+      "  derive  <file> <fn>           print fn's typing derivation\n"
+      "  dot     <file> <fn>           derivation as a Graphviz digraph\n"
+      "  sample  <sll|dll|rbtree|message|trie|extras>  print a sample\n"
+      "options: --no-oracle --seed N --no-checks --no-elide --stats "
+      "--metrics\n");
   return 2;
 }
 
@@ -58,6 +67,7 @@ Expected<std::string> readFile(const char *Path) {
 struct Options {
   bool UseOracle = true;
   bool Checks = true;
+  bool Elide = true;
   bool Stats = false;
   bool Metrics = false;
   uint64_t Seed = 0;
@@ -95,9 +105,46 @@ int cmdCheck(const char *Path, const Options &Opts) {
   }
   std::printf("%s: OK (%zu functions)\n", Path,
               P->Checked.Functions.size());
+  // Checker-integrated warnings: always/never-taken disconnect branches
+  // found by the static region-graph analysis.
+  AnalysisReport Report = analyzeProgram(P->Checked);
+  std::vector<AnalysisDiag> Warnings;
+  for (const AnalysisDiag &D : Report.Diags)
+    if (D.Kind == AnalysisDiagKind::DeadBranch ||
+        D.Kind == AnalysisDiagKind::NeverPopulated)
+      Warnings.push_back(D);
+  if (!Warnings.empty())
+    std::printf("%s", renderDiags(Warnings, Path).c_str());
   if (Opts.Stats)
     printStats(*P);
   return 0;
+}
+
+int analyzeOne(std::string_view Source, const char *Name) {
+  SourceAnalysis A = analyzeSourceText(Source, Name);
+  std::fputs(A.Rendered.c_str(), stdout);
+  return A.HardError ? 1 : 0;
+}
+
+int cmdAnalyze(const char *Path) {
+  Expected<std::string> Source = readFile(Path);
+  if (!Source) {
+    std::fprintf(stderr, "%s\n", Source.error().render().c_str());
+    return 1;
+  }
+  return analyzeOne(*Source, Path);
+}
+
+int cmdAnalyzeSamples() {
+  const std::pair<const char *, const char *> Samples[] = {
+      {"sll", programs::SllSuite},       {"dll", programs::DllSuite},
+      {"rbtree", programs::RedBlackTree}, {"message", programs::MessagePassing},
+      {"trie", programs::BitTrie},       {"extras", programs::Extras},
+  };
+  int Rc = 0;
+  for (const auto &[Name, Source] : Samples)
+    Rc |= analyzeOne(Source, Name);
+  return Rc;
 }
 
 int cmdRun(const char *Path, const char *Fn,
@@ -127,8 +174,14 @@ int cmdRun(const char *Path, const char *Fn,
     }
     Values.push_back(Value::intVal(Args[I]));
   }
+  // Static verdicts feed the runtime elision hook by default; --no-elide
+  // restores the always-traverse behavior for comparison.
+  AnalysisReport Report = analyzeProgram(P->Checked);
+  DisconnectVerdictTable Verdicts = Report.verdictTable();
   MachineOptions MO;
   MO.CheckReservations = Opts.Checks;
+  MO.StaticVerdicts = &Verdicts;
+  MO.ElideDisconnect = Opts.Elide;
   Machine M(P->Checked, MO);
   M.spawn(Entry, std::move(Values));
   Expected<MachineSummary> R = M.run(Opts.Seed);
@@ -237,6 +290,8 @@ int main(int argc, char **argv) {
       Opts.UseOracle = false;
     else if (!std::strcmp(argv[I], "--no-checks"))
       Opts.Checks = false;
+    else if (!std::strcmp(argv[I], "--no-elide"))
+      Opts.Elide = false;
     else if (!std::strcmp(argv[I], "--stats"))
       Opts.Stats = true;
     else if (!std::strcmp(argv[I], "--metrics"))
@@ -252,6 +307,11 @@ int main(int argc, char **argv) {
   const char *Cmd = Positional[0];
   if (!std::strcmp(Cmd, "check") && Positional.size() == 2)
     return cmdCheck(Positional[1], Opts);
+  if (!std::strcmp(Cmd, "analyze") && Positional.size() == 2) {
+    if (!std::strcmp(Positional[1], "--samples"))
+      return cmdAnalyzeSamples();
+    return cmdAnalyze(Positional[1]);
+  }
   if (!std::strcmp(Cmd, "run") && Positional.size() >= 3) {
     std::vector<int64_t> Args;
     for (size_t I = 3; I < Positional.size(); ++I)
