@@ -17,6 +17,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 using namespace fearless;
 
 namespace {
@@ -127,6 +132,62 @@ void BM_AbstractMachineItemPipeline(benchmark::State &State) {
 }
 BENCHMARK(BM_AbstractMachineItemPipeline);
 
+/// FEARLESS_TRACE_OUT hook: after the benchmarks, run one traced
+/// item-pipeline (4 producers, 1 consumer) and write its merged Chrome
+/// trace to the named file. Gives `tools/bench.sh` / users a one-command
+/// way to capture a real multi-thread trace from the E7 workload:
+///
+///   FEARLESS_TRACE_OUT=pipeline.json ./bench_concurrency
+///
+/// FEARLESS_TRACE_ITEMS overrides the per-producer item count (default
+/// 500; docs/trace_example.json was captured with 50 to keep it small).
+int writeTracedPipeline(const char *Path) {
+  Expected<Pipeline> P = compile(programs::MessagePassing);
+  if (!P) {
+    std::fprintf(stderr, "bench_concurrency: trace workload: %s\n",
+                 P.error().Message.c_str());
+    return 1;
+  }
+  const int Producers = 4;
+  int PerProducer = 500;
+  if (const char *Items = std::getenv("FEARLESS_TRACE_ITEMS"))
+    PerProducer = std::max(1, std::atoi(Items));
+  TraceSession Trace;
+  ParallelExecOptions Opts;
+  Opts.Trace = &Trace;
+  ParallelExec Exec(P->Checked, Opts);
+  Symbol Producer = P->Prog->Names.intern("producer");
+  Symbol Consumer = P->Prog->Names.intern("consumer");
+  for (int I = 0; I < Producers; ++I)
+    Exec.spawn(Producer, {Value::intVal(PerProducer)});
+  Exec.spawn(Consumer, {Value::intVal(Producers * PerProducer)});
+  Expected<std::vector<Value>> R = Exec.run();
+  if (!R) {
+    std::fprintf(stderr, "bench_concurrency: trace workload: %s\n",
+                 R.error().Message.c_str());
+    return 1;
+  }
+  std::string Error;
+  if (!Trace.writeChromeJson(Path, Error)) {
+    std::fprintf(stderr, "bench_concurrency: %s\n", Error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "bench_concurrency: wrote trace of %d-thread pipeline "
+               "to %s (%zu buffers)\n",
+               Producers + 1, Path, Trace.bufferCount());
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char *TraceOut = std::getenv("FEARLESS_TRACE_OUT"))
+    return writeTracedPipeline(TraceOut);
+  return 0;
+}

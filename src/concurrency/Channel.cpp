@@ -93,9 +93,18 @@ size_t ValueChannel::sizeApprox() const {
 ValueChannel &ChannelSet::channelFor(const Type &Ty) {
   std::lock_guard<std::mutex> Lock(M);
   auto &Slot = Channels[Ty];
-  if (!Slot)
+  if (!Slot) {
     Slot = std::make_unique<ValueChannel>(*this, Shutdown);
+    if (Trace)
+      Trace->instant("channel.created", "channel", "channels",
+                     Channels.size());
+  }
   return *Slot;
+}
+
+void ChannelSet::setTrace(TraceBuffer *Buffer) {
+  std::lock_guard<std::mutex> Lock(M);
+  Trace = Buffer;
 }
 
 void ChannelSet::registerThreads(size_t N) {
@@ -130,6 +139,9 @@ void ChannelSet::noteSendDropped() {
   if (PendingValues)
     --PendingValues;
   ++DroppedValues;
+  if (Trace)
+    Trace->instant("channel.send_dropped", "channel", "dropped_total",
+                   DroppedValues);
 }
 
 void ChannelSet::noteRecv() {
@@ -164,6 +176,12 @@ void ChannelSet::shutdownLocked(ChannelState To) {
   if (To == ChannelState::Closed && Shutdown == ChannelState::Closed)
     return;
   Shutdown = To;
+  // The two observable run-wide transitions: Open→Closed (quiescence:
+  // drain-then-stop) and →Aborted (hard shutdown). Recorded under M.
+  if (Trace)
+    Trace->instant(To == ChannelState::Closed ? "channels.closed"
+                                              : "channels.aborted",
+                   "channel", "channels", Channels.size());
   for (auto &[Ty, Chan] : Channels) {
     (void)Ty;
     Chan->close(To);

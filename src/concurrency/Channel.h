@@ -30,6 +30,7 @@
 #include "ast/Types.h"
 #include "runtime/Value.h"
 #include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <condition_variable>
 #include <deque>
@@ -119,6 +120,12 @@ public:
   /// Adds this set's channel counters into \p Out.
   void collectMetrics(RuntimeMetrics &Out);
 
+  /// Attaches a trace buffer for lifecycle events (channel creation,
+  /// Open→Closed/Aborted transitions, dropped sends). The set records
+  /// only while holding its own mutex, satisfying the buffer's
+  /// single-writer rule. Null detaches.
+  void setTrace(TraceBuffer *Buffer);
+
 private:
   friend class ValueChannel;
 
@@ -145,6 +152,8 @@ private:
   size_t PendingValues = 0;
   uint64_t DroppedValues = 0;
   ChannelState Shutdown = ChannelState::Open;
+  /// Lifecycle trace buffer; written only under M.
+  TraceBuffer *Trace = nullptr;
 };
 
 } // namespace fearless

@@ -51,11 +51,28 @@ Expected<std::vector<Value>> ParallelExec::run() {
   size_t DoneCount = 0;
 
   Channels.registerThreads(Work.size());
+
+  // Tracing: register every buffer up front (worker I → tid I+1) so no
+  // worker touches the session mutex after it starts. The executor's
+  // control buffer is tid 0; the channel set's lifecycle buffer sits
+  // past the workers and is written only under the set mutex.
+  TraceBuffer *TraceCtl = nullptr;
+  std::vector<TraceBuffer *> WorkerTrace(Work.size(), nullptr);
+  if (Opts.Trace) {
+    TraceCtl = &Opts.Trace->registerThread(0, "executor");
+    for (size_t I = 0; I < Work.size(); ++I)
+      WorkerTrace[I] = &Opts.Trace->registerThread(
+          static_cast<uint32_t>(I + 1), "worker");
+    Channels.setTrace(&Opts.Trace->registerThread(
+        static_cast<uint32_t>(Work.size() + 1), "channels"));
+  }
+
   auto Started = std::chrono::steady_clock::now();
+  uint64_t TraceExecStart = TraceCtl ? TraceCtl->now() : 0;
 
   for (size_t I = 0; I < Work.size(); ++I) {
     Workers.emplace_back([this, I, &Work, &Slots, &Abort, &DoneM, &DoneCV,
-                          &DoneCount] {
+                          &DoneCount, &WorkerTrace] {
       const Entry &E = Work[I];
       Slot &S = Slots[I];
       const FnDecl *Fn = Checked.Prog->findFunction(E.Fn);
@@ -71,6 +88,9 @@ Expected<std::vector<Value>> ParallelExec::run() {
       // built before run(), keeping growth out of the measured region;
       // the scratch is per-thread, so checks never contend on it.
       T.Scratch.reserve(TheHeap.size());
+
+      T.Trace = WorkerTrace[I];
+      uint64_t TraceRunStart = T.Trace ? T.Trace->now() : 0;
 
       // Per-thread counters: lock-free, merged into the metrics registry
       // at join.
@@ -93,7 +113,10 @@ Expected<std::vector<Value>> ParallelExec::run() {
           S.Out = Outcome::Finished;
           Done = true;
           break;
-        case StepOutcome::BlockedSend:
+        case StepOutcome::BlockedSend: {
+          // Span covers channel publication (sends never block: the
+          // channels are unbounded), making send cost visible per thread.
+          TraceSpan Span(T.Trace, "chan.send", "channel");
           Channels.channelFor(T.CommType).send(T.PendingSend);
           ++Stats.Sends;
           T.PendingSend = Value();
@@ -101,7 +124,11 @@ Expected<std::vector<Value>> ParallelExec::run() {
           T.HasValue = true;
           T.Status = ThreadStatus::Runnable;
           break;
+        }
         case StepOutcome::BlockedRecv: {
+          // Span covers the whole receive including blocked time — the
+          // block/wake visibility the aggregate counters cannot give.
+          TraceSpan Span(T.Trace, "chan.recv", "channel");
           Value Received;
           switch (Channels.channelFor(T.CommType).recv(Received)) {
           case RecvResult::Ok:
@@ -132,6 +159,15 @@ Expected<std::vector<Value>> ParallelExec::run() {
           break;
         }
       }
+      if (T.Trace) {
+        const char *OutName = S.Out == Outcome::Finished   ? "finished"
+                              : S.Out == Outcome::Errored ? "errored"
+                                                          : "cancelled";
+        T.Trace->instant(OutName, "thread");
+        T.Trace->record("thread.run", "thread", 'X', TraceRunStart,
+                        T.Trace->now() - TraceRunStart, "steps",
+                        Stats.Steps);
+      }
       S.Stats = Stats;
       Channels.threadFinished();
       {
@@ -151,6 +187,9 @@ Expected<std::vector<Value>> ParallelExec::run() {
                            std::chrono::milliseconds(Opts.WatchdogMillis),
                            AllDone)) {
         WatchdogFired = true;
+        if (TraceCtl)
+          TraceCtl->instant("watchdog.fired", "executor", "budget_ms",
+                            Opts.WatchdogMillis);
         Abort.store(true, std::memory_order_relaxed);
         Channels.abortAll();
         DoneCV.wait(Lock, AllDone);
@@ -185,6 +224,10 @@ Expected<std::vector<Value>> ParallelExec::run() {
     }
   }
   Channels.collectMetrics(Metrics);
+  if (TraceCtl)
+    TraceCtl->record("exec.run", "executor", 'X', TraceExecStart,
+                     TraceCtl->now() - TraceExecStart, "threads",
+                     Work.size());
 
   // Report every failed thread, not just the first.
   std::string Errors;

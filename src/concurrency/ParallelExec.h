@@ -44,6 +44,12 @@ struct ParallelExecOptions {
   /// the watchdog; pure recv deadlocks are already resolved by channel
   /// closure and need no watchdog.
   uint64_t WatchdogMillis = 0;
+  /// Structured tracing (support/Trace.h): when set, run() gives every
+  /// worker its own ring buffer (channel send/recv spans including
+  /// blocked time, `if disconnected` spans, step ticks, a whole-thread
+  /// span), the channel set a lifecycle buffer, and the executor a
+  /// control buffer (watchdog). Null = disabled. Must outlive run().
+  TraceSession *Trace = nullptr;
 };
 
 /// Runs a set of entry functions on OS threads until all finish.

@@ -21,6 +21,12 @@ public:
 
   StepOutcome step() {
     ++S.Stats->Steps;
+    // Tracing: a per-thread progress tick every 4096 steps. Per-step
+    // events would dominate the trace (and the run); the tick keeps each
+    // language thread's interpreter progress visible in Perfetto at
+    // ~0.02% of the event rate.
+    if (T.Trace && (++T.TraceSteps & 4095) == 0)
+      T.Trace->instant("interp.steps", "interp", "steps", T.TraceSteps);
     if (T.HasValue)
       return applyFrame();
     return evalExpr();
@@ -209,6 +215,10 @@ private:
       const auto &R = cast<RecvExpr>(E);
       T.CommType = R.ValueType;
       T.Status = ThreadStatus::BlockedRecv;
+      if (T.Trace) {
+        T.TraceBlockStartNs = T.Trace->now();
+        T.Trace->instant("recv.block", "channel");
+      }
       return StepOutcome::BlockedRecv;
     }
     case ExprKind::Call: {
@@ -271,15 +281,22 @@ private:
         ++S.Stats->DisconnectElided;
         if (Disc)
           ++S.Stats->DisconnectTaken;
+        if (T.Trace)
+          T.Trace->instant("disconnect.elided", "disconnect");
         evaluate(Disc ? E.Then.get() : E.Else.get());
         return StepOutcome::Progress;
       }
     }
 
+    uint64_t TraceStart = T.Trace ? T.Trace->now() : 0;
     DisconnectOutcome Out =
         S.UseNaiveDisconnect
             ? checkDisconnectedNaive(*S.TheHeap, A, B, T.Scratch)
             : checkDisconnectedRefCount(*S.TheHeap, A, B, T.Scratch);
+    if (T.Trace)
+      T.Trace->record("disconnect.traverse", "disconnect", 'X', TraceStart,
+                      T.Trace->now() - TraceStart, "objects_visited",
+                      Out.ObjectsVisited);
     S.Stats->DisconnectObjectsVisited += Out.ObjectsVisited;
     S.Stats->DisconnectEdgesTraversed += Out.EdgesTraversed;
     if (Out.Disconnected)
@@ -479,6 +496,10 @@ private:
       T.PendingSend = V;
       T.CommType = Ty;
       T.Status = ThreadStatus::BlockedSend;
+      if (T.Trace) {
+        T.TraceBlockStartNs = T.Trace->now();
+        T.Trace->instant("send.block", "channel");
+      }
       return StepOutcome::BlockedSend;
     }
     if (auto *LS = std::get_if<frames::LetSome>(&F)) {

@@ -25,6 +25,7 @@
 #include "runtime/Scratch.h"
 #include "runtime/Value.h"
 #include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <map>
 #include <string>
@@ -150,6 +151,17 @@ struct ThreadState {
   /// Blocking communication state.
   Type CommType;
   Value PendingSend;
+
+  /// Tracing (support/Trace.h). Null = disabled: every instrumentation
+  /// site in the interpreter guards on this one pointer. The buffer is
+  /// single-writer, owned by whichever executor steps this thread.
+  TraceBuffer *Trace = nullptr;
+  /// Steps taken by *this* thread, counted only while tracing (the
+  /// shared MachineStats cannot attribute steps per thread).
+  uint64_t TraceSteps = 0;
+  /// When the thread blocked in send/recv, for block→wake wait spans
+  /// recorded by the machine at pairing time.
+  uint64_t TraceBlockStartNs = 0;
 };
 
 /// Outcome of one small step.

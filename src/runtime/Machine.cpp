@@ -127,6 +127,22 @@ bool Machine::tryCommunicate(std::string &Error) {
       ++Stats.Sends;
       ++Stats.Recvs; // pairing delivers both halves at once
 
+      // Tracing: close the block→wake wait span on both sides and mark
+      // the transfer itself (live-set size = objects handed over).
+      if (Sender.Trace) {
+        Sender.Trace->record("send.wait", "channel",
+                             'X', Sender.TraceBlockStartNs,
+                             Sender.Trace->now() - Sender.TraceBlockStartNs,
+                             "live_set",
+                             Sent.isLoc() ? LiveBuf.size() : 0);
+        Sender.Trace->instant("send.transfer", "channel", "live_set",
+                              Sent.isLoc() ? LiveBuf.size() : 0);
+      }
+      if (Receiver.Trace)
+        Receiver.Trace->record(
+            "recv.wait", "channel", 'X', Receiver.TraceBlockStartNs,
+            Receiver.Trace->now() - Receiver.TraceBlockStartNs);
+
       // Sender resumes with unit; receiver resumes with the root.
       Sender.ControlValue = Value::unitVal();
       Sender.HasValue = true;
@@ -156,6 +172,18 @@ RuntimeMetrics Machine::metrics() const {
 }
 
 Expected<MachineSummary> Machine::run(uint64_t Seed) {
+  // Tracing: one buffer per language thread (tid = thread id + 1; the
+  // machine itself is tid 0). The machine is single-OS-threaded, so the
+  // single-writer rule holds trivially for every buffer.
+  TraceBuffer *TraceCtl = nullptr;
+  if (Opts.Trace) {
+    TraceCtl = &Opts.Trace->registerThread(0, "machine");
+    for (ThreadState &T : Threads)
+      if (!T.Trace)
+        T.Trace = &Opts.Trace->registerThread(T.Id + 1, "lang-thread");
+  }
+  uint64_t TraceRunStart = TraceCtl ? TraceCtl->now() : 0;
+
   InterpServices Services;
   Services.TheHeap = &TheHeap;
   Services.Prog = Checked.Prog;
@@ -236,5 +264,8 @@ Expected<MachineSummary> Machine::run(uint64_t Seed) {
   for (const ThreadState &T : Threads)
     Summary.ThreadResults.push_back(T.Result);
   Stats.Steps = Steps;
+  if (TraceCtl)
+    TraceCtl->record("machine.run", "machine", 'X', TraceRunStart,
+                     TraceCtl->now() - TraceRunStart, "steps", Steps);
   return Summary;
 }

@@ -59,6 +59,12 @@ struct MachineOptions {
   bool CrossCheckElision = false;
 #endif
   uint64_t MaxSteps = 500'000'000;
+  /// Structured tracing (support/Trace.h): when set, run() registers one
+  /// ring buffer per language thread (plus a machine control buffer) and
+  /// records send/recv wait spans, `if disconnected` traversal spans,
+  /// and interpreter progress ticks. Null = disabled (no overhead beyond
+  /// a pointer test per site). Must outlive the machine's run().
+  TraceSession *Trace = nullptr;
   /// Soundness-testing hook: run after every small step; a returned
   /// message aborts the run. Tests install the §6 invariant validators
   /// here to check I1/I2-style properties at *every* intermediate state.

@@ -5,16 +5,17 @@
 #
 #===----------------------------------------------------------------------===#
 #
-# Reproducible benchmark baseline pipeline: builds the five bench_*
+# Reproducible benchmark baseline pipeline: builds the six bench_*
 # binaries, runs each with --benchmark_out_format=json (counters included,
-# e.g. the RuntimeMetrics counters exported by bench_concurrency and the
-# allocs_per_iter / losing_side_visited counters of bench_ifdisconnected),
-# and merges the per-binary JSON into one BENCH_*.json at the repo root.
-# Compare two such files with tools/bench_compare.py.
+# e.g. the RuntimeMetrics counters exported by bench_concurrency, the
+# allocs_per_iter / losing_side_visited counters of bench_ifdisconnected,
+# and the tracing-overhead counters of bench_trace), and merges the
+# per-binary JSON into one BENCH_*.json at the repo root. Compare two
+# such files with tools/bench_compare.py.
 #
 # Usage: tools/bench.sh [options]
 #   -B DIR        build directory                (default: <repo>/build)
-#   -o FILE       merged output file             (default: <repo>/BENCH_pr3.json)
+#   -o FILE       merged output file             (default: <repo>/BENCH_pr4.json)
 #   -t SECONDS    --benchmark_min_time per bench (default: 0.05)
 #   -f REGEX      --benchmark_filter passed through
 #   --smoke       CI smoke mode: min_time 0.01, output under the build
@@ -32,7 +33,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 BUILD="$ROOT/build"
-OUT="$ROOT/BENCH_pr3.json"
+OUT="$ROOT/BENCH_pr4.json"
 MIN_TIME="0.05"
 FILTER=""
 SMOKE=0
@@ -54,7 +55,7 @@ if [[ "$SMOKE" -eq 1 ]]; then
 fi
 
 BENCHES=(bench_table1 bench_checker bench_ifdisconnected bench_runtime
-         bench_concurrency)
+         bench_concurrency bench_trace)
 
 echo "==> [bench] build (${BUILD})"
 cmake -B "$BUILD" -S "$ROOT" >/dev/null

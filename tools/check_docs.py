@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Doc-drift gate: keep docs/OBSERVABILITY.md and the README honest.
+
+Checks, failing with a nonzero exit on the first class of drift found:
+
+ 1. Every RuntimeMetrics counter registered in src/support/Metrics.cpp
+    (the `Fn("name", ...)` rows of RuntimeMetrics::forEach — the stable
+    JSON schema of `--metrics` and BENCH_*.json) is documented in
+    docs/OBSERVABILITY.md's counter glossary.
+ 2. The reverse: every counter the glossary documents still exists in
+    Metrics.cpp (no ghost rows for deleted counters).
+ 3. Every `--flag` shown on a line mentioning `fearlessc` in README.md or
+    docs/OBSERVABILITY.md is actually accepted by tools/fearlessc.cpp
+    (stale-flag detection — the drift this tool exists to catch).
+
+Run from anywhere: paths are resolved relative to the repo root. Wired
+into tools/ci.sh; `--self-test` exercises the extraction logic against
+inline fixtures without touching the tree.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+METRICS_CPP = ROOT / "src" / "support" / "Metrics.cpp"
+OBSERVABILITY_MD = ROOT / "docs" / "OBSERVABILITY.md"
+README_MD = ROOT / "README.md"
+FEARLESSC_CPP = ROOT / "tools" / "fearlessc.cpp"
+
+# The forEach registration rows: Fn("counter_name", Value);
+COUNTER_RE = re.compile(r'Fn\("([a-z_]+)"')
+
+# A documented counter: a table row whose first cell is `counter_name`,
+# inside the "Metrics counter glossary" section only (other sections
+# tabulate trace events, which are not counters).
+GLOSSARY_HEADING = "## Metrics counter glossary"
+GLOSSARY_ROW_RE = re.compile(r"^\|\s*`([a-z_]+)`", re.MULTILINE)
+
+# A CLI flag token: --word[-word...], not preceded by another dash (so
+# comment rules like //----- are not flags).
+FLAG_RE = re.compile(r"(?<![-\w])--([a-z][a-z-]*)\b")
+
+
+def extract_counters(metrics_src: str) -> set:
+    return set(COUNTER_RE.findall(metrics_src))
+
+
+def extract_documented_counters(doc: str) -> set:
+    start = doc.find(GLOSSARY_HEADING)
+    if start < 0:
+        return set()
+    end = doc.find("\n## ", start + len(GLOSSARY_HEADING))
+    section = doc[start:] if end < 0 else doc[start:end]
+    return set(GLOSSARY_ROW_RE.findall(section))
+
+
+def extract_accepted_flags(cli_src: str) -> set:
+    return set(FLAG_RE.findall(cli_src))
+
+
+def extract_documented_flags(doc: str) -> list:
+    """(line_number, flag) for every --flag on a line mentioning fearlessc."""
+    out = []
+    for n, line in enumerate(doc.splitlines(), 1):
+        if "fearlessc" not in line:
+            continue
+        for flag in FLAG_RE.findall(line):
+            out.append((n, flag))
+    return out
+
+
+def self_test() -> int:
+    metrics = 'Fn("steps", Steps);\n  Fn("wall_micros", WallMicros);'
+    assert extract_counters(metrics) == {"steps", "wall_micros"}
+
+    doc = (
+        "## Metrics counter glossary\n"
+        "| `steps` | unit | interp |\n"
+        "prose about `not_a_counter` outside a table\n"
+        "| `wall_micros` | us | executor |\n"
+        "## Trace event schema\n"
+        "| `not_a_counter_event` | i | - |\n"
+    )
+    assert extract_documented_counters(doc) == {"steps", "wall_micros"}
+    assert extract_documented_counters("no glossary here") == set()
+
+    cli = 'if (!std::strcmp(argv[I], "--trace")) {} // --metrics\n//---\n'
+    assert extract_accepted_flags(cli) == {"trace", "metrics"}
+
+    lines = "run fearlessc with --trace out.json\nunrelated --flag here\n"
+    assert extract_documented_flags(lines) == [(1, "trace")]
+
+    print("check_docs: self-test OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+
+    for path in (METRICS_CPP, OBSERVABILITY_MD, README_MD, FEARLESSC_CPP):
+        if not path.exists():
+            print(f"check_docs: missing {path.relative_to(ROOT)}",
+                  file=sys.stderr)
+            return 1
+
+    counters = extract_counters(METRICS_CPP.read_text())
+    observability = OBSERVABILITY_MD.read_text()
+    documented = extract_documented_counters(observability)
+    failures = 0
+
+    missing = sorted(counters - documented)
+    for name in missing:
+        print(
+            f"check_docs: counter '{name}' is registered in "
+            f"src/support/Metrics.cpp but has no glossary row in "
+            f"docs/OBSERVABILITY.md",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    ghosts = sorted(documented - counters)
+    for name in ghosts:
+        print(
+            f"check_docs: docs/OBSERVABILITY.md documents counter "
+            f"'{name}' which src/support/Metrics.cpp no longer registers",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    accepted = extract_accepted_flags(FEARLESSC_CPP.read_text())
+    for doc_path, text in (
+        (README_MD, README_MD.read_text()),
+        (OBSERVABILITY_MD, observability),
+    ):
+        for line, flag in extract_documented_flags(text):
+            if flag not in accepted:
+                print(
+                    f"check_docs: {doc_path.relative_to(ROOT)}:{line} "
+                    f"shows 'fearlessc ... --{flag}' but fearlessc does "
+                    f"not accept --{flag}",
+                    file=sys.stderr,
+                )
+                failures += 1
+
+    if failures:
+        print(f"check_docs: {failures} drift issue(s)", file=sys.stderr)
+        return 1
+
+    print(
+        f"check_docs: OK ({len(counters)} counters documented, "
+        f"{len(accepted)} CLI flags consistent)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,16 +55,57 @@ run_analyze() {
   done
 }
 
+# Trace smoke: `fearlessc run --trace` must produce JSON that actually
+# parses and follows the Chrome trace_event schema (pid/tid/ts/name/ph,
+# dur on complete events). The deep validation lives in trace_test; this
+# catches exporter rot end to end through the CLI.
+run_trace_smoke() {
+  local name="$1" dir="$2"
+  echo "==> [$name] trace smoke (fearlessc run --trace)"
+  local out="$dir/ci_trace_smoke.json"
+  "$dir/tools/fearlessc" run "$ROOT/examples/dll_remove.fls" main \
+    --metrics --trace "$out" >/dev/null
+  python3 - "$out" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+for e in events:
+    assert {"name", "ph", "pid", "tid"} <= e.keys(), e
+    if e["ph"] != "M":
+        assert "ts" in e, e
+    if e["ph"] == "X":
+        assert "dur" in e, e
+print(f"    valid Chrome trace, {len(events)} events")
+PYEOF
+}
+
 CTEST_ARGS=("$@")
 
 echo "==> [tools] bench_compare self-test"
 python3 "$ROOT/tools/bench_compare.py" --self-test
+echo "==> [tools] check_docs (doc drift gate)"
+python3 "$ROOT/tools/check_docs.py" --self-test
+python3 "$ROOT/tools/check_docs.py"
 
 run_pass "default" "$ROOT/build"
 run_analyze "default" "$ROOT/build"
+run_trace_smoke "default" "$ROOT/build"
 echo "==> [default] bench smoke"
 "$ROOT/tools/bench.sh" --smoke -B "$ROOT/build"
 run_pass "tsan" "$ROOT/build-tsan" -DFEARLESS_SANITIZE=thread
 run_analyze "tsan" "$ROOT/build-tsan"
+
+# Compile-out pass: the tracing layer must build with FEARLESS_TRACE=OFF
+# (stub API) and the trace suite must still pass (it guards its
+# event-presence expectations on FEARLESS_TRACING_ENABLED). The CLI must
+# still emit a valid — empty — trace.
+echo "==> [notrace] configure + build (FEARLESS_TRACE=OFF)"
+cmake -B "$ROOT/build-notrace" -S "$ROOT" -DFEARLESS_TRACE=OFF >/dev/null
+cmake --build "$ROOT/build-notrace" -j "$JOBS" \
+  --target trace_test fearlessc
+echo "==> [notrace] trace_test"
+"$ROOT/build-notrace/tests/trace_test"
+run_trace_smoke "notrace" "$ROOT/build-notrace"
 
 echo "==> all passes green"

@@ -20,13 +20,16 @@
 // Options: --no-oracle (naive unification search), --seed N (schedule),
 // --no-checks (erase dynamic reservation checks), --no-elide (keep the
 // dynamic traversal even for statically proven disconnect sites),
-// --stats, --metrics (runtime metrics as one JSON line on stdout).
+// --stats, --metrics (runtime metrics as one JSON line on stdout),
+// --trace FILE (Chrome trace_event JSON for Perfetto/chrome://tracing;
+// composes with --metrics — see docs/OBSERVABILITY.md).
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/StaticDisconnect.h"
 #include "driver/Driver.h"
 #include "runtime/Machine.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -51,7 +54,7 @@ int usage() {
       "  dot     <file> <fn>           derivation as a Graphviz digraph\n"
       "  sample  <sll|dll|rbtree|message|trie|extras>  print a sample\n"
       "options: --no-oracle --seed N --no-checks --no-elide --stats "
-      "--metrics\n");
+      "--metrics --trace FILE\n");
   return 2;
 }
 
@@ -70,6 +73,9 @@ struct Options {
   bool Elide = true;
   bool Stats = false;
   bool Metrics = false;
+  /// Chrome trace_event output path (empty = tracing off). Composes
+  /// with --metrics: the trace goes to this file, metrics to stdout.
+  std::string TracePath;
   uint64_t Seed = 0;
 };
 
@@ -178,13 +184,45 @@ int cmdRun(const char *Path, const char *Fn,
   // restores the always-traverse behavior for comparison.
   AnalysisReport Report = analyzeProgram(P->Checked);
   DisconnectVerdictTable Verdicts = Report.verdictTable();
+
+  // Tracing: probe the sink *before* the run so an unwritable path is a
+  // clean up-front error, not a lost trace after minutes of execution.
+  TraceSession Trace;
+  if (!Opts.TracePath.empty()) {
+    std::ofstream Probe(Opts.TracePath, std::ios::app);
+    if (!Probe) {
+      std::fprintf(stderr,
+                   "fearlessc: cannot open trace output '%s' for "
+                   "writing\n",
+                   Opts.TracePath.c_str());
+      return 1;
+    }
+#if !FEARLESS_TRACING_ENABLED
+    std::fprintf(stderr,
+                 "fearlessc: warning: tracing is compiled out "
+                 "(FEARLESS_TRACE=OFF); '%s' will hold an empty trace\n",
+                 Opts.TracePath.c_str());
+#endif
+  }
+
   MachineOptions MO;
   MO.CheckReservations = Opts.Checks;
   MO.StaticVerdicts = &Verdicts;
   MO.ElideDisconnect = Opts.Elide;
+  if (!Opts.TracePath.empty())
+    MO.Trace = &Trace;
   Machine M(P->Checked, MO);
   M.spawn(Entry, std::move(Values));
   Expected<MachineSummary> R = M.run(Opts.Seed);
+  // Write whatever was traced even when the run fails — a trace of the
+  // failing run is exactly what the flag is for.
+  if (!Opts.TracePath.empty()) {
+    std::string TraceError;
+    if (!Trace.writeChromeJson(Opts.TracePath, TraceError)) {
+      std::fprintf(stderr, "fearlessc: %s\n", TraceError.c_str());
+      return 1;
+    }
+  }
   if (!R) {
     std::fprintf(stderr, "%s\n", R.error().render().c_str());
     return 1;
@@ -296,6 +334,8 @@ int main(int argc, char **argv) {
       Opts.Stats = true;
     else if (!std::strcmp(argv[I], "--metrics"))
       Opts.Metrics = true;
+    else if (!std::strcmp(argv[I], "--trace") && I + 1 < argc)
+      Opts.TracePath = argv[++I];
     else if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
       Opts.Seed = std::strtoull(argv[++I], nullptr, 10);
     else
