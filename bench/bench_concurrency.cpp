@@ -14,6 +14,7 @@
 #include "concurrency/ParallelExec.h"
 #include "driver/Driver.h"
 #include "runtime/Machine.h"
+#include "support/FaultInjector.h"
 
 #include <benchmark/benchmark.h>
 
@@ -179,6 +180,94 @@ int writeTracedPipeline(const char *Path) {
   return 0;
 }
 
+/// FEARLESS_FAULTS hook: after the benchmarks, run the item pipeline
+/// once fault-free (baseline) and once under the env-configured fault
+/// plan with supervision enabled, and check the chaos contract: the run
+/// must terminate (no hang), and when every fault was absorbed by
+/// restarts the results must be bit-identical to the baseline. CI's
+/// chaos smoke loops this over seeds:
+///
+///   FEARLESS_FAULTS='thread.start=prob:0.3,seed=7' \
+///     ./bench_concurrency --benchmark_filter=NONE
+int runChaosPipeline() {
+  std::string FaultError;
+  std::unique_ptr<FaultInjector> Faults =
+      FaultInjector::fromEnv(&FaultError);
+  if (!Faults) {
+    std::fprintf(stderr, "bench_concurrency: %s\n",
+                 FaultError.empty() ? "FEARLESS_FAULTS: empty spec"
+                                    : FaultError.c_str());
+    return 1;
+  }
+  Expected<Pipeline> P = compile(programs::MessagePassing);
+  if (!P) {
+    std::fprintf(stderr, "bench_concurrency: chaos workload: %s\n",
+                 P.error().Message.c_str());
+    return 1;
+  }
+  const int Producers = 2;
+  const int PerProducer = 200;
+  auto Spawn = [&](ParallelExec &Exec) {
+    Symbol Producer = P->Prog->Names.intern("producer");
+    Symbol Consumer = P->Prog->Names.intern("consumer");
+    for (int I = 0; I < Producers; ++I)
+      Exec.spawn(Producer, {Value::intVal(PerProducer)});
+    Exec.spawn(Consumer, {Value::intVal(Producers * PerProducer)});
+  };
+
+  ParallelExec Baseline(P->Checked);
+  Spawn(Baseline);
+  Expected<std::vector<Value>> Want = Baseline.run();
+  if (!Want) {
+    std::fprintf(stderr, "bench_concurrency: chaos baseline: %s\n",
+                 Want.error().Message.c_str());
+    return 1;
+  }
+
+  ParallelExecOptions Opts;
+  Opts.Faults = Faults.get();
+  Opts.MaxRestarts = 4;
+  Opts.RestartBackoffMillis = 1;
+  Opts.RestartBackoffCapMillis = 8;
+  Opts.RestartSeed = Faults->plan().Seed;
+  // Safety net: a supervision or shutdown bug becomes a diagnostic, not
+  // a hung CI job.
+  Opts.WatchdogMillis = 60'000;
+  ParallelExec Exec(P->Checked, Opts);
+  Spawn(Exec);
+  Expected<std::vector<Value>> R = Exec.run();
+  const RuntimeMetrics &M = Exec.metrics();
+  if (M.WatchdogFired) {
+    std::fprintf(stderr,
+                 "bench_concurrency: chaos run hung (watchdog fired)\n");
+    return 1;
+  }
+  if (R.hasValue()) {
+    if (M.FaultsEscalated != 0) {
+      std::fprintf(stderr, "bench_concurrency: chaos run succeeded but "
+                           "reports escalated faults\n");
+      return 1;
+    }
+    for (size_t I = 0; I < Want->size(); ++I)
+      if (!((*R)[I] == (*Want)[I])) {
+        std::fprintf(stderr,
+                     "bench_concurrency: recovered chaos run diverged "
+                     "from baseline at thread %zu\n",
+                     I);
+        return 1;
+      }
+  }
+  std::fprintf(stderr,
+               "bench_concurrency: chaos ok (%s; injected=%llu "
+               "restarted=%llu escalated=%llu)\n",
+               R.hasValue() ? (M.ThreadsRestarted ? "recovered" : "clean")
+                           : "aborted cleanly",
+               static_cast<unsigned long long>(M.FaultsInjected),
+               static_cast<unsigned long long>(M.ThreadsRestarted),
+               static_cast<unsigned long long>(M.FaultsEscalated));
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -189,5 +278,7 @@ int main(int argc, char **argv) {
   benchmark::Shutdown();
   if (const char *TraceOut = std::getenv("FEARLESS_TRACE_OUT"))
     return writeTracedPipeline(TraceOut);
+  if (std::getenv("FEARLESS_FAULTS"))
+    return runChaosPipeline();
   return 0;
 }

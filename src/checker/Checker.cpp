@@ -1120,12 +1120,18 @@ Expected<FrontendResult> fearless::checkSource(std::string_view Source,
                                                const CheckerOptions &Opts) {
   DiagnosticEngine Diags;
   std::optional<Program> Parsed = parseProgram(Source, Diags);
-  if (!Parsed)
-    return fail(Diags.renderAll());
+  if (!Parsed) {
+    Failure F = fail(Diags.renderAll());
+    F.Diag.Stage = DiagnosticStage::Parse;
+    return F;
+  }
   FrontendResult Out{std::make_unique<Program>(std::move(*Parsed)), {}};
   Expected<CheckedProgram> Checked = checkProgram(*Out.Prog, Opts);
-  if (!Checked)
-    return Checked.takeFailure();
+  if (!Checked) {
+    Failure F = Checked.takeFailure();
+    F.Diag.Stage = DiagnosticStage::Check;
+    return F;
+  }
   Out.Checked = Checked.take();
   return Out;
 }

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 using namespace fearless;
@@ -42,6 +43,12 @@ Expected<std::vector<Value>> ParallelExec::run() {
     std::string Error;
     Outcome Out = Outcome::Cancelled;
     MachineStats Stats;
+    /// Structured fault of the final attempt, when it died to one.
+    std::optional<RuntimeFault> Fault;
+    /// Supervision bookkeeping (merged into RuntimeMetrics at join).
+    uint32_t Restarts = 0;
+    uint64_t BackoffMillis = 0;
+    bool Escalated = false;
   };
   std::vector<Slot> Slots(Work.size());
   std::vector<std::thread> Workers;
@@ -79,96 +86,182 @@ Expected<std::vector<Value>> ParallelExec::run() {
       assert(Fn && "spawning an unknown function");
       assert(E.Args.size() == Fn->Params.size() && "spawn arity");
 
-      ThreadState T;
-      T.Id = static_cast<ThreadId>(I);
-      for (size_t A = 0; A < E.Args.size(); ++A)
-        T.Env.emplace_back(Fn->Params[A].Name, E.Args[A]);
-      T.ControlExpr = Fn->Body.get();
-      // Pre-size this worker's `if disconnected` scratch to the graphs
-      // built before run(), keeping growth out of the measured region;
-      // the scratch is per-thread, so checks never contend on it.
-      T.Scratch.reserve(TheHeap.size());
+      TraceBuffer *TB = WorkerTrace[I];
+      uint64_t TraceRunStart = TB ? TB->now() : 0;
+      FaultInjector *Faults = Opts.Faults;
+      MachineStats Lifetime; // merged over every attempt
 
-      T.Trace = WorkerTrace[I];
-      uint64_t TraceRunStart = T.Trace ? T.Trace->now() : 0;
+      // Supervision loop: one iteration per attempt. With MaxRestarts ==
+      // 0 (the default) the body runs exactly once and behaves like the
+      // unsupervised executor.
+      for (uint32_t Attempt = 0;; ++Attempt) {
+        // Fresh configuration per attempt: the dead attempt's partial
+        // reservation is simply dropped — region isolation guarantees no
+        // peer could see it (objects it allocated leak until the heap
+        // dies with the executor, a price only faulting runs pay).
+        ThreadState T;
+        T.Id = static_cast<ThreadId>(I);
+        for (size_t A = 0; A < E.Args.size(); ++A)
+          T.Env.emplace_back(Fn->Params[A].Name, E.Args[A]);
+        T.ControlExpr = Fn->Body.get();
+        // Pre-size this worker's `if disconnected` scratch to the graphs
+        // built before run(), keeping growth out of the measured region;
+        // the scratch is per-thread, so checks never contend on it.
+        T.Scratch.reserve(TheHeap.size());
+        T.Trace = TB;
 
-      // Per-thread counters: lock-free, merged into the metrics registry
-      // at join.
-      MachineStats Stats;
-      InterpServices Services;
-      Services.TheHeap = &TheHeap;
-      Services.Prog = Checked.Prog;
-      Services.Stats = &Stats;
-      Services.SendTypes = &Checked.SendTypes;
-      Services.CheckReservations = false; // erased: the checker proved them
+        // Per-thread, per-attempt counters: lock-free, merged into the
+        // metrics registry at join. Kept per attempt so the supervisor
+        // can see whether *this* attempt externalized anything.
+        MachineStats Stats;
+        InterpServices Services;
+        Services.TheHeap = &TheHeap;
+        Services.Prog = Checked.Prog;
+        Services.Stats = &Stats;
+        Services.SendTypes = &Checked.SendTypes;
+        Services.CheckReservations = false; // erased: checker proved them
+        Services.Faults = Faults;
 
-      bool Done = false;
-      while (!Done && !Abort.load(std::memory_order_relaxed)) {
-        StepOutcome Out = stepThread(T, Services);
-        switch (Out) {
-        case StepOutcome::Progress:
-          break;
-        case StepOutcome::Finished:
-          S.Result = T.Result;
-          S.Out = Outcome::Finished;
-          Done = true;
-          break;
-        case StepOutcome::BlockedSend: {
-          // Span covers channel publication (sends never block: the
-          // channels are unbounded), making send cost visible per thread.
-          TraceSpan Span(T.Trace, "chan.send", "channel");
-          Channels.channelFor(T.CommType).send(T.PendingSend);
-          ++Stats.Sends;
-          T.PendingSend = Value();
-          T.ControlValue = Value::unitVal();
-          T.HasValue = true;
-          T.Status = ThreadStatus::Runnable;
-          break;
+        S.Fault.reset();
+        S.Error.clear();
+        S.Out = Outcome::Cancelled;
+
+        // thread.start fault point: the attempt dies before its first
+        // step (always effect-free, so always retryable).
+        if (Faults && Faults->shouldFire(FaultPoint::ThreadStart)) {
+          S.Fault = RuntimeFault{
+              RuntimeFaultKind::Injected, Loc::invalid(),
+              static_cast<uint32_t>(FaultPoint::ThreadStart),
+              static_cast<uint32_t>(I)};
+          S.Error = S.Fault->render();
+          S.Out = Outcome::Errored;
         }
-        case StepOutcome::BlockedRecv: {
-          // Span covers the whole receive including blocked time — the
-          // block/wake visibility the aggregate counters cannot give.
-          TraceSpan Span(T.Trace, "chan.recv", "channel");
-          Value Received;
-          switch (Channels.channelFor(T.CommType).recv(Received)) {
-          case RecvResult::Ok:
-            ++Stats.Recvs;
-            T.ControlValue = Received;
+
+        bool Done = S.Out == Outcome::Errored;
+        while (!Done && !Abort.load(std::memory_order_relaxed)) {
+          // sched.step fault point: the executor's per-step pulse.
+          if (Faults && Faults->shouldFire(FaultPoint::SchedStep)) {
+            S.Fault = RuntimeFault{
+                RuntimeFaultKind::Injected, Loc::invalid(),
+                static_cast<uint32_t>(FaultPoint::SchedStep),
+                static_cast<uint32_t>(I)};
+            S.Error = S.Fault->render();
+            S.Out = Outcome::Errored;
+            break;
+          }
+          StepOutcome Out = stepThread(T, Services);
+          switch (Out) {
+          case StepOutcome::Progress:
+            break;
+          case StepOutcome::Finished:
+            S.Result = T.Result;
+            S.Out = Outcome::Finished;
+            Done = true;
+            break;
+          case StepOutcome::BlockedSend: {
+            // Span covers channel publication (sends never block: the
+            // channels are unbounded), making send cost visible per
+            // thread.
+            TraceSpan Span(T.Trace, "chan.send", "channel");
+            Channels.channelFor(T.CommType).send(T.PendingSend);
+            ++Stats.Sends;
+            T.PendingSend = Value();
+            T.ControlValue = Value::unitVal();
             T.HasValue = true;
             T.Status = ThreadStatus::Runnable;
             break;
-          case RecvResult::Closed:
-          case RecvResult::Aborted:
-            // Closed: every possible sender finished — a clean stop, the
-            // thread is cancelled mid-recv with a unit result. Aborted:
-            // another thread failed or the watchdog fired; the originating
-            // diagnostic is reported, not this thread.
-            S.Result = Value::unitVal();
-            S.Out = Outcome::Cancelled;
+          }
+          case StepOutcome::BlockedRecv: {
+            // Span covers the whole receive including blocked time — the
+            // block/wake visibility the aggregate counters cannot give.
+            TraceSpan Span(T.Trace, "chan.recv", "channel");
+            Value Received;
+            switch (Channels.channelFor(T.CommType).recv(Received)) {
+            case RecvResult::Ok:
+              ++Stats.Recvs;
+              T.ControlValue = Received;
+              T.HasValue = true;
+              T.Status = ThreadStatus::Runnable;
+              break;
+            case RecvResult::Closed:
+            case RecvResult::Aborted:
+              // Closed: every possible sender finished — a clean stop,
+              // the thread is cancelled mid-recv with a unit result.
+              // Aborted: another thread failed or the watchdog fired;
+              // the originating diagnostic is reported, not this thread.
+              S.Result = Value::unitVal();
+              S.Out = Outcome::Cancelled;
+              Done = true;
+              break;
+            }
+            break;
+          }
+          case StepOutcome::Stuck:
+            S.Error = T.Error;
+            S.Fault = T.Fault;
+            S.Out = Outcome::Errored;
             Done = true;
             break;
           }
-          break;
         }
-        case StepOutcome::Stuck:
-          S.Error = T.Error;
-          S.Out = Outcome::Errored;
-          Abort.store(true, std::memory_order_relaxed);
-          Channels.abortAll(); // wake blocked receivers
-          Done = true;
+        Lifetime.merge(Stats);
+
+        if (S.Out != Outcome::Errored)
           break;
+
+        // Supervision: restart only a *fault* death (typed — injected or
+        // a runtime trap; plain program errors like division by zero
+        // stay fail-fast) whose attempt externalized nothing. One send
+        // or recv and the attempt is observable to peers — replaying it
+        // could duplicate effects, so it escalates instead.
+        bool Retryable = S.Fault.has_value() && Stats.Sends == 0 &&
+                         Stats.Recvs == 0 &&
+                         !Abort.load(std::memory_order_relaxed);
+        if (Retryable && Attempt < Opts.MaxRestarts) {
+          uint64_t Backoff =
+              Attempt < 63 ? Opts.RestartBackoffMillis << Attempt
+                           : Opts.RestartBackoffCapMillis;
+          if (Backoff > Opts.RestartBackoffCapMillis)
+            Backoff = Opts.RestartBackoffCapMillis;
+          // Deterministic jitter from (seed, thread, attempt): decorrela-
+          // tes the restart herd without losing reproducibility.
+          uint64_t J = Opts.RestartSeed + 0x9E3779B97F4A7C15ull * (I + 1) +
+                       Attempt;
+          J = (J ^ (J >> 30)) * 0xBF58476D1CE4E5B9ull;
+          J = (J ^ (J >> 27)) * 0x94D049BB133111EBull;
+          uint64_t Sleep = Backoff + (Backoff ? J % (Backoff + 1) : 0);
+          S.BackoffMillis += Sleep;
+          ++S.Restarts;
+          if (TB)
+            TB->instant("thread.restart", "thread", "attempt",
+                        Attempt + 1);
+          if (Sleep)
+            std::this_thread::sleep_for(std::chrono::milliseconds(Sleep));
+          continue;
         }
+
+        // Escalation: the existing quiescence abort — fail the run and
+        // wake every blocked receiver.
+        if (S.Fault) {
+          S.Escalated = true;
+          if (TB)
+            TB->instant("fault.escalated", "fault", "attempts",
+                        Attempt + 1);
+        }
+        Abort.store(true, std::memory_order_relaxed);
+        Channels.abortAll();
+        break;
       }
-      if (T.Trace) {
+
+      if (TB) {
         const char *OutName = S.Out == Outcome::Finished   ? "finished"
                               : S.Out == Outcome::Errored ? "errored"
                                                           : "cancelled";
-        T.Trace->instant(OutName, "thread");
-        T.Trace->record("thread.run", "thread", 'X', TraceRunStart,
-                        T.Trace->now() - TraceRunStart, "steps",
-                        Stats.Steps);
+        TB->instant(OutName, "thread");
+        TB->record("thread.run", "thread", 'X', TraceRunStart,
+                   TB->now() - TraceRunStart, "steps", Lifetime.Steps);
       }
-      S.Stats = Stats;
+      S.Stats = Lifetime;
       Channels.threadFinished();
       {
         std::lock_guard<std::mutex> Lock(DoneM);
@@ -190,9 +283,28 @@ Expected<std::vector<Value>> ParallelExec::run() {
         if (TraceCtl)
           TraceCtl->instant("watchdog.fired", "executor", "budget_ms",
                             Opts.WatchdogMillis);
-        Abort.store(true, std::memory_order_relaxed);
-        Channels.abortAll();
-        DoneCV.wait(Lock, AllDone);
+        // Stage 1, soft cancel: close the channels cleanly so blocked
+        // receivers drain what is buffered and stop as cancelled, and
+        // give the run a grace period to quiesce on its own.
+        bool Quiesced = false;
+        if (Opts.WatchdogGraceMillis > 0) {
+          if (TraceCtl)
+            TraceCtl->instant("watchdog.soft_cancel", "executor",
+                              "grace_ms", Opts.WatchdogGraceMillis);
+          Channels.closeAll();
+          Quiesced = DoneCV.wait_for(
+              Lock, std::chrono::milliseconds(Opts.WatchdogGraceMillis),
+              AllDone);
+        }
+        // Stage 2, hard abort: spinning workers ignore the soft cancel;
+        // stop them at the next step boundary and wake everyone.
+        if (!Quiesced) {
+          if (TraceCtl)
+            TraceCtl->instant("watchdog.hard_abort", "executor");
+          Abort.store(true, std::memory_order_relaxed);
+          Channels.abortAll();
+          DoneCV.wait(Lock, AllDone);
+        }
       }
     } else {
       DoneCV.wait(Lock, AllDone);
@@ -209,8 +321,12 @@ Expected<std::vector<Value>> ParallelExec::run() {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - Started)
           .count());
+  Metrics.FaultsInjected = Opts.Faults ? Opts.Faults->totalFired() : 0;
   for (const Slot &S : Slots) {
     Metrics.mergeThread(S.Stats);
+    Metrics.ThreadsRestarted += S.Restarts;
+    Metrics.RestartBackoffMillis += S.BackoffMillis;
+    Metrics.FaultsEscalated += S.Escalated ? 1 : 0;
     switch (S.Out) {
     case Outcome::Finished:
       ++Metrics.ThreadsFinished;

@@ -21,8 +21,11 @@ Expected<Pipeline> fearless::compile(std::string_view Source,
   Out.Checked = std::move(Front->Checked);
   if (Verify && Opts.EmitDerivations) {
     Expected<VerifyStats> Stats = verifyProgram(Out.Checked);
-    if (!Stats)
-      return Stats.takeFailure();
+    if (!Stats) {
+      Failure F = Stats.takeFailure();
+      F.Diag.Stage = DiagnosticStage::Check;
+      return F;
+    }
     Out.Verified = *Stats;
   }
   return Out;

@@ -6,30 +6,23 @@
 
 #include "runtime/Heap.h"
 
-#include <cstdio>
-#include <cstdlib>
+#include "runtime/RuntimeFault.h"
 
 using namespace fearless;
 
 void Heap::heapFault(Loc L) const {
-  std::fprintf(stderr,
-               "fearless runtime: invalid heap access: %s (heap holds "
-               "%zu of at most %zu objects); aborting\n",
-               L.isValid() ? ("loc#" + std::to_string(L.Index)).c_str()
-                           : "invalid location",
-               size(), capacity());
-  std::abort();
+  RuntimeFault F;
+  F.Kind = RuntimeFaultKind::InvalidHeapAccess;
+  F.Location = L;
+  raiseRuntimeFault(F); // throws in release, aborts in debug
 }
 
 void Heap::fieldFault(Loc L, uint32_t FieldIndex) const {
-  const Object &O = get(L);
-  std::fprintf(stderr,
-               "fearless runtime: invalid field access: loc#%u.%u, but "
-               "the object's struct (symbol #%u) has %zu fields; "
-               "aborting\n",
-               L.Index, FieldIndex, O.Struct ? O.Struct->Name.Id : 0,
-               O.Fields.size());
-  std::abort();
+  RuntimeFault F;
+  F.Kind = RuntimeFaultKind::InvalidFieldAccess;
+  F.Location = L;
+  F.Detail = FieldIndex;
+  raiseRuntimeFault(F);
 }
 
 Heap::Heap(const StructTable &Structs, size_t MaxObjects)

@@ -64,8 +64,10 @@ public:
   Loc allocate(Symbol StructName);
 
   /// Accessors bound-check in release builds too: an out-of-range
-  /// location aborts with a diagnostic (see heapFault) rather than
-  /// silently reading or writing foreign memory.
+  /// location raises a structured RuntimeFault (thrown to the owning
+  /// executor in release builds, loud abort in debug — see
+  /// runtime/RuntimeFault.h) rather than silently reading or writing
+  /// foreign memory.
   Object &get(Loc L) {
     if (!L.isValid() || L.Index >= size())
       heapFault(L);
@@ -111,10 +113,11 @@ public:
   std::vector<uint32_t> recomputeRefCounts() const;
 
 private:
-  /// Reports an invalid heap access and aborts; never returns. Kept out
-  /// of line so the accessors stay small.
+  /// Raises an invalid-heap-access RuntimeFault; never returns (throws
+  /// in release builds, aborts in debug). Kept out of line so the
+  /// accessors stay small.
   [[noreturn]] void heapFault(Loc L) const;
-  /// Reports an out-of-range field index on \p L and aborts.
+  /// Raises an out-of-range field-index RuntimeFault on \p L.
   [[noreturn]] void fieldFault(Loc L, uint32_t FieldIndex) const;
 
   static constexpr uint32_t BlockShift = 12;

@@ -43,6 +43,17 @@ private:
     return StepOutcome::Stuck;
   }
 
+  /// Throws an injected fault for point \p P; stepThread's trap handler
+  /// converts it into a Stuck outcome with T.Fault set. Call sites guard
+  /// on S.Faults themselves so the disabled cost stays one branch.
+  [[noreturn]] void injectFault(FaultPoint P) {
+    RuntimeFault F;
+    F.Kind = RuntimeFaultKind::Injected;
+    F.Detail = static_cast<uint32_t>(P);
+    F.Thread = T.Id;
+    raiseInjectedFault(F);
+  }
+
   /// The dynamic reservation check of the E-rules.
   bool inReservation(Loc L) {
     if (!S.CheckReservations)
@@ -85,6 +96,8 @@ private:
   }
 
   Loc allocateDefault(Symbol StructName) {
+    if (S.Faults && S.Faults->shouldFire(FaultPoint::HeapAlloc))
+      injectFault(FaultPoint::HeapAlloc);
     Loc L = S.TheHeap->allocate(StructName);
     if (!L.isValid())
       return L; // heap exhausted; the caller reports
@@ -94,6 +107,10 @@ private:
   }
 
   StepOutcome heapExhausted() {
+    RuntimeFault F;
+    F.Kind = RuntimeFaultKind::HeapExhausted;
+    F.Thread = T.Id;
+    T.Fault = F;
     return stuck("heap exhausted: allocation failed at " +
                  std::to_string(S.TheHeap->size()) + " live objects "
                  "(capacity " + std::to_string(S.TheHeap->capacity()) +
@@ -213,6 +230,8 @@ private:
     }
     case ExprKind::Recv: {
       const auto &R = cast<RecvExpr>(E);
+      if (S.Faults && S.Faults->shouldFire(FaultPoint::ChanRecv))
+        injectFault(FaultPoint::ChanRecv);
       T.CommType = R.ValueType;
       T.Status = ThreadStatus::BlockedRecv;
       if (T.Trace) {
@@ -257,6 +276,8 @@ private:
     if (!inReservation(A) || !inReservation(B))
       return stuck("reservation violation: 'if disconnected' argument "
                    "outside the reservation");
+    if (S.Faults && S.Faults->shouldFire(FaultPoint::DisconnectTraverse))
+      injectFault(FaultPoint::DisconnectTraverse);
     ++S.Stats->DisconnectChecks;
 
     // Elision: when the static region-graph analysis proved this site's
@@ -465,6 +486,8 @@ private:
       return StepOutcome::Progress;
     }
     if (auto *SendF = std::get_if<frames::Send>(&F)) {
+      if (S.Faults && S.Faults->shouldFire(FaultPoint::ChanSend))
+        injectFault(FaultPoint::ChanSend);
       // Resolve the send's τ: statically recorded by the checker, or
       // derived from the runtime value for unchecked programs.
       Type Ty;
@@ -644,5 +667,23 @@ private:
 StepOutcome fearless::stepThread(ThreadState &T,
                                  const InterpServices &Services) {
   assert(T.Status == ThreadStatus::Runnable && "stepping a blocked thread");
-  return Stepper(T, Services).step();
+  // The step boundary is the trap frontier: a structured fault raised
+  // anywhere inside the step (invalid heap/field access deep in the
+  // heap, heap exhaustion, an injected fault) unwinds to here and fails
+  // this one thread as a typed error. The executors then decide between
+  // supervision restart, escalation, and diagnostic reporting — the
+  // process never dies in release builds.
+  try {
+    return Stepper(T, Services).step();
+  } catch (const RuntimeFaultError &E) {
+    RuntimeFault F = E.Fault;
+    F.Thread = T.Id;
+    T.Fault = F;
+    T.Error = F.render();
+    T.Status = ThreadStatus::Failed;
+    if (T.Trace)
+      T.Trace->instant("fault.trapped", "fault", "kind",
+                       static_cast<uint64_t>(F.Kind));
+    return StepOutcome::Stuck;
+  }
 }

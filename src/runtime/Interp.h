@@ -22,12 +22,15 @@
 #include "analysis/Verdict.h"
 #include "ast/Ast.h"
 #include "runtime/Heap.h"
+#include "runtime/RuntimeFault.h"
 #include "runtime/Scratch.h"
 #include "runtime/Value.h"
+#include "support/FaultInjector.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <map>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -147,6 +150,11 @@ struct ThreadState {
   ThreadStatus Status = ThreadStatus::Runnable;
   Value Result;
   std::string Error;
+  /// Structured description when the thread died to a runtime fault
+  /// (trap or injection) rather than a plain stuck state. Set alongside
+  /// Error by stepThread's trap handler; executors use it to decide
+  /// supervision (restart vs escalate) and exit-code mapping.
+  std::optional<RuntimeFault> Fault;
 
   /// Blocking communication state.
   Type CommType;
@@ -192,10 +200,19 @@ struct InterpServices {
   /// Run the real traversal anyway and fail the thread on disagreement
   /// with the static verdict (debug builds / property tests).
   bool CrossCheckElision = false;
+  /// Deterministic fault injection (support/FaultInjector.h). Null =
+  /// disabled: every instrumented site guards on this one pointer, the
+  /// same discipline as tracing. The injector is shared by every thread
+  /// of a run and must outlive it.
+  FaultInjector *Faults = nullptr;
 };
 
 /// Executes one small step of \p T. On StepOutcome::Stuck, T.Error holds
-/// the reason (a reservation violation or a genuine runtime fault).
+/// the reason (a reservation violation or a genuine runtime fault); when
+/// the cause was a structured trap or an injected fault, T.Fault
+/// additionally carries the typed description. Traps raised inside the
+/// step (invalid heap/field access, injected faults) are caught at this
+/// boundary — they fail the thread, never the process.
 StepOutcome stepThread(ThreadState &T, const InterpServices &Services);
 
 } // namespace fearless

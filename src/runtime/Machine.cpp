@@ -160,6 +160,7 @@ bool Machine::tryCommunicate(std::string &Error) {
 RuntimeMetrics Machine::metrics() const {
   RuntimeMetrics M;
   M.mergeThread(Stats);
+  M.FaultsInjected = Opts.Faults ? Opts.Faults->totalFired() : 0;
   M.ThreadsSpawned = Threads.size();
   for (const ThreadState &T : Threads) {
     if (T.Status == ThreadStatus::Finished)
@@ -172,6 +173,7 @@ RuntimeMetrics Machine::metrics() const {
 }
 
 Expected<MachineSummary> Machine::run(uint64_t Seed) {
+  LastFault.reset();
   // Tracing: one buffer per language thread (tid = thread id + 1; the
   // machine itself is tid 0). The machine is single-OS-threaded, so the
   // single-writer rule holds trivially for every buffer.
@@ -194,6 +196,26 @@ Expected<MachineSummary> Machine::run(uint64_t Seed) {
   Services.StaticVerdicts = Opts.StaticVerdicts;
   Services.ElideDisconnect = Opts.ElideDisconnect;
   Services.CrossCheckElision = Opts.CrossCheckElision;
+  Services.Faults = Opts.Faults;
+
+  // Fault points the interpreter cannot see: thread.start fires once per
+  // started thread (before its first step), sched.step per scheduler
+  // pulse below. The machine has no supervision — an injected fault here
+  // fails the run with a typed diagnostic (exit-code 5 on the CLI).
+  if (Opts.Faults) {
+    for (ThreadState &T : Threads) {
+      if (T.Status == ThreadStatus::Finished)
+        continue;
+      if (Opts.Faults->shouldFire(FaultPoint::ThreadStart)) {
+        RuntimeFault F;
+        F.Kind = RuntimeFaultKind::Injected;
+        F.Detail = static_cast<uint32_t>(FaultPoint::ThreadStart);
+        F.Thread = T.Id;
+        LastFault = F;
+        return fail(F.render());
+      }
+    }
+  }
 
   uint64_t Rng = Seed ? Seed : 0;
   auto NextRandom = [&Rng]() {
@@ -206,6 +228,20 @@ Expected<MachineSummary> Machine::run(uint64_t Seed) {
   uint64_t Steps = 0;
   size_t RoundRobin = 0;
   std::vector<size_t> Runnable; // hoisted: reused across scheduler turns
+
+  // EC3 pairing walks the heap (live-set transfer), so it can trap on an
+  // invalid location just like a step; catch at the same frontier and
+  // surface the typed fault instead of dying.
+  auto Communicate = [&](std::string &Error) {
+    try {
+      return tryCommunicate(Error);
+    } catch (const RuntimeFaultError &E) {
+      LastFault = E.Fault;
+      Error = E.Fault.render();
+      return false;
+    }
+  };
+
   while (true) {
     // Collect runnable threads.
     Runnable.clear();
@@ -221,7 +257,7 @@ Expected<MachineSummary> Machine::run(uint64_t Seed) {
     if (Runnable.empty()) {
       // Try pairing communication; otherwise deadlock.
       std::string Error;
-      if (tryCommunicate(Error))
+      if (Communicate(Error))
         continue;
       if (!Error.empty())
         return fail(Error);
@@ -232,6 +268,14 @@ Expected<MachineSummary> Machine::run(uint64_t Seed) {
     size_t Pick = Seed ? Runnable[NextRandom() % Runnable.size()]
                        : Runnable[RoundRobin++ % Runnable.size()];
     ThreadState &T = Threads[Pick];
+    if (Opts.Faults && Opts.Faults->shouldFire(FaultPoint::SchedStep)) {
+      RuntimeFault F;
+      F.Kind = RuntimeFaultKind::Injected;
+      F.Detail = static_cast<uint32_t>(FaultPoint::SchedStep);
+      F.Thread = T.Id;
+      LastFault = F;
+      return fail(F.render());
+    }
     StepOutcome Out = stepThread(T, Services);
     ++Steps;
     if (Opts.StepValidator) {
@@ -248,12 +292,14 @@ Expected<MachineSummary> Machine::run(uint64_t Seed) {
     case StepOutcome::BlockedSend:
     case StepOutcome::BlockedRecv: {
       std::string Error;
-      (void)tryCommunicate(Error);
+      (void)Communicate(Error);
       if (!Error.empty())
         return fail(Error);
       break;
     }
     case StepOutcome::Stuck:
+      if (T.Fault)
+        LastFault = T.Fault;
       return fail("thread " + std::to_string(T.Id) + " is stuck: " +
                   T.Error);
     }

@@ -59,6 +59,11 @@ struct MachineOptions {
   bool CrossCheckElision = false;
 #endif
   uint64_t MaxSteps = 500'000'000;
+  /// Deterministic fault injection (support/FaultInjector.h): consulted
+  /// at thread start, per scheduler pulse (`sched.step`), and by the
+  /// interpreter's instrumented sites. Null = disabled (one pointer test
+  /// per site). Must outlive run().
+  FaultInjector *Faults = nullptr;
   /// Structured tracing (support/Trace.h): when set, run() registers one
   /// ring buffer per language thread (plus a machine control buffer) and
   /// records send/recv wait spans, `if disconnected` traversal spans,
@@ -125,6 +130,13 @@ public:
   /// registry the real-thread executor reports).
   RuntimeMetrics metrics() const;
   const std::vector<ThreadState> &threads() const { return Threads; }
+  /// The structured fault that failed the last run(), when the failure
+  /// was a runtime trap or an injected fault (empty for plain errors
+  /// such as deadlock or a reservation violation). fearlessc maps this
+  /// to its distinct runtime-fault exit code.
+  const std::optional<RuntimeFault> &lastFault() const {
+    return LastFault;
+  }
   bool inReservation(ThreadId T, Loc L) const {
     return Threads[T].Reservation.count(L.Index) != 0;
   }
@@ -142,6 +154,7 @@ private:
   Heap TheHeap;
   MachineStats Stats;
   std::vector<ThreadState> Threads;
+  std::optional<RuntimeFault> LastFault;
   /// Reusable send-path buffers (EC3 live-set transfer): liveSetInto
   /// clears and refills them, so steady-state sends allocate nothing.
   std::vector<Loc> LiveBuf;

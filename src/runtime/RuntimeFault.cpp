@@ -1,0 +1,70 @@
+//===- runtime/RuntimeFault.cpp -------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RuntimeFault.h"
+
+#include "support/FaultInjector.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace fearless;
+
+const char *fearless::toString(RuntimeFaultKind K) {
+  switch (K) {
+  case RuntimeFaultKind::InvalidHeapAccess:
+    return "invalid heap access";
+  case RuntimeFaultKind::InvalidFieldAccess:
+    return "invalid field access";
+  case RuntimeFaultKind::HeapExhausted:
+    return "heap exhausted";
+  case RuntimeFaultKind::Injected:
+    return "injected fault";
+  }
+  return "unknown fault";
+}
+
+std::string RuntimeFault::render() const {
+  std::string Out = "runtime fault: ";
+  Out += toString(Kind);
+  switch (Kind) {
+  case RuntimeFaultKind::InvalidHeapAccess:
+    Out += Location.isValid()
+               ? " at loc#" + std::to_string(Location.Index)
+               : " through an invalid location";
+    break;
+  case RuntimeFaultKind::InvalidFieldAccess:
+    Out += " at loc#" + std::to_string(Location.Index) + " field #" +
+           std::to_string(Detail);
+    break;
+  case RuntimeFaultKind::HeapExhausted:
+    break;
+  case RuntimeFaultKind::Injected:
+    if (Detail < NumFaultPoints)
+      Out += std::string(" at ") +
+             faultPointName(static_cast<FaultPoint>(Detail));
+    break;
+  }
+  if (Thread != UINT32_MAX)
+    Out += " (thread " + std::to_string(Thread) + ")";
+  return Out;
+}
+
+void fearless::raiseRuntimeFault(const RuntimeFault &F) {
+#ifdef NDEBUG
+  throw RuntimeFaultError{F};
+#else
+  // Debug builds keep the loud abort: a memory-safety trap under a
+  // debugger is worth more with its stack intact than unwound.
+  std::fprintf(stderr, "fearless runtime: %s; aborting (debug build)\n",
+               F.render().c_str());
+  std::abort();
+#endif
+}
+
+void fearless::raiseInjectedFault(const RuntimeFault &F) {
+  throw RuntimeFaultError{F};
+}

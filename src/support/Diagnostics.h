@@ -35,11 +35,19 @@ std::string toString(SourceLoc Loc);
 
 enum class DiagnosticSeverity { Error, Warning, Note };
 
+/// Which pipeline stage produced a diagnostic. The CLI maps stages to
+/// distinct exit codes (docs/OBSERVABILITY.md, "Exit codes"): scripts can
+/// tell a syntax error from a type-checker rejection from a runtime
+/// fault without parsing messages. Unknown covers infrastructure errors
+/// (unreadable file, bad arguments) that predate any stage.
+enum class DiagnosticStage : uint8_t { Unknown, Parse, Check, Runtime };
+
 /// One diagnostic message attached to a source location.
 struct Diagnostic {
   DiagnosticSeverity Severity = DiagnosticSeverity::Error;
   std::string Message;
   SourceLoc Loc;
+  DiagnosticStage Stage = DiagnosticStage::Unknown;
 
   /// Renders "error: <msg> at line:col".
   std::string render() const;

@@ -1,0 +1,162 @@
+//===- support/FaultInjector.cpp ------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <cstdlib>
+
+using namespace fearless;
+
+// Spec / docs / trace vocabulary, indexed by FaultPoint. check_docs.py
+// extracts this array and cross-checks it against the fault-point table
+// in docs/OBSERVABILITY.md.
+static constexpr const char *PointNames[NumFaultPoints] = {
+    "chan.send",    "chan.recv",  "heap.alloc",
+    "thread.start", "sched.step", "disconnect.traverse",
+};
+
+const char *fearless::faultPointName(FaultPoint P) {
+  return PointNames[static_cast<size_t>(P)];
+}
+
+bool fearless::faultPointByName(std::string_view Name, FaultPoint &Out) {
+  for (size_t I = 0; I < NumFaultPoints; ++I)
+    if (Name == PointNames[I]) {
+      Out = static_cast<FaultPoint>(I);
+      return true;
+    }
+  return false;
+}
+
+namespace {
+
+/// splitmix64: a cheap, well-mixed 64-bit permutation. The decision hash
+/// feeds every bit of (seed, point, occurrence) through it so nearby
+/// occurrence indices draw independent-looking values.
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+bool parseU64(std::string_view S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+bool parseProbability(std::string_view S, double &Out) {
+  if (S.empty())
+    return false;
+  // strtod needs a terminated buffer; specs are short, so copy.
+  std::string Buf(S);
+  char *End = nullptr;
+  double V = std::strtod(Buf.c_str(), &End);
+  if (!End || *End != '\0')
+    return false;
+  if (!(V >= 0.0 && V <= 1.0))
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+double FaultInjector::decide(size_t PointIdx, uint64_t Occ) const {
+  uint64_t H = splitmix64(Plan.Seed ^
+                          splitmix64((PointIdx + 1) * 0xA24BAED4963EE407ull) ^
+                          Occ);
+  // 53 mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(H >> 11) * 0x1.0p-53;
+}
+
+Expected<FaultPlan> fearless::parseFaultSpec(std::string_view Spec) {
+  FaultPlan Plan;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string_view Entry = Spec.substr(
+        Pos, Comma == std::string_view::npos ? Spec.size() - Pos
+                                             : Comma - Pos);
+    Pos = Comma == std::string_view::npos ? Spec.size() + 1 : Comma + 1;
+    if (Entry.empty())
+      continue;
+
+    size_t Eq = Entry.find('=');
+    if (Eq == std::string_view::npos)
+      return fail("fault spec entry '" + std::string(Entry) +
+                  "' has no '=' (expected POINT=TRIGGER or seed=N)");
+    std::string_view Key = Entry.substr(0, Eq);
+    std::string_view Val = Entry.substr(Eq + 1);
+
+    if (Key == "seed") {
+      if (!parseU64(Val, Plan.Seed))
+        return fail("fault spec: seed '" + std::string(Val) +
+                    "' is not an unsigned integer");
+      continue;
+    }
+
+    FaultPoint Point;
+    if (!faultPointByName(Key, Point))
+      return fail("fault spec: unknown fault point '" + std::string(Key) +
+                  "' (known: chan.send, chan.recv, heap.alloc, "
+                  "thread.start, sched.step, disconnect.traverse)");
+
+    size_t Colon = Val.find(':');
+    if (Colon == std::string_view::npos)
+      return fail("fault spec: trigger '" + std::string(Val) + "' for " +
+                  std::string(Key) +
+                  " has no ':' (expected nth:N, every:K, or prob:P)");
+    std::string_view TrKind = Val.substr(0, Colon);
+    std::string_view TrArg = Val.substr(Colon + 1);
+
+    FaultTrigger Tr;
+    if (TrKind == "nth") {
+      Tr.TriggerKind = FaultTrigger::Kind::Nth;
+      if (!parseU64(TrArg, Tr.N) || Tr.N == 0)
+        return fail("fault spec: nth:'" + std::string(TrArg) +
+                    "' must be a positive integer");
+    } else if (TrKind == "every") {
+      Tr.TriggerKind = FaultTrigger::Kind::EveryK;
+      if (!parseU64(TrArg, Tr.N) || Tr.N == 0)
+        return fail("fault spec: every:'" + std::string(TrArg) +
+                    "' must be a positive integer");
+    } else if (TrKind == "prob") {
+      Tr.TriggerKind = FaultTrigger::Kind::Probability;
+      if (!parseProbability(TrArg, Tr.Probability))
+        return fail("fault spec: prob:'" + std::string(TrArg) +
+                    "' must be a number in [0, 1]");
+    } else {
+      return fail("fault spec: unknown trigger kind '" +
+                  std::string(TrKind) +
+                  "' (expected nth, every, or prob)");
+    }
+    Plan.Triggers[static_cast<size_t>(Point)] = Tr;
+  }
+  return Plan;
+}
+
+std::unique_ptr<FaultInjector>
+FaultInjector::fromEnv(std::string *ErrorOut) {
+  const char *Env = std::getenv("FEARLESS_FAULTS");
+  if (!Env || !*Env)
+    return nullptr;
+  Expected<FaultPlan> Plan = parseFaultSpec(Env);
+  if (!Plan) {
+    if (ErrorOut)
+      *ErrorOut = "FEARLESS_FAULTS: " + Plan.error().Message;
+    return nullptr;
+  }
+  return std::make_unique<FaultInjector>(*Plan);
+}

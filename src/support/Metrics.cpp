@@ -8,6 +8,19 @@
 
 using namespace fearless;
 
+void MachineStats::merge(const MachineStats &O) {
+  Steps += O.Steps;
+  ReservationChecks += O.ReservationChecks;
+  DisconnectChecks += O.DisconnectChecks;
+  DisconnectTaken += O.DisconnectTaken;
+  DisconnectElided += O.DisconnectElided;
+  DisconnectObjectsVisited += O.DisconnectObjectsVisited;
+  DisconnectEdgesTraversed += O.DisconnectEdgesTraversed;
+  Sends += O.Sends;
+  Recvs += O.Recvs;
+  Allocations += O.Allocations;
+}
+
 void RuntimeMetrics::mergeThread(const MachineStats &S) {
   Steps += S.Steps;
   Sends += S.Sends;
@@ -40,6 +53,10 @@ void RuntimeMetrics::forEach(
   Fn("heap_objects", HeapObjects);
   Fn("wall_micros", WallMicros);
   Fn("watchdog_fired", WatchdogFired);
+  Fn("faults_injected", FaultsInjected);
+  Fn("threads_restarted", ThreadsRestarted);
+  Fn("restart_backoff_millis", RestartBackoffMillis);
+  Fn("faults_escalated", FaultsEscalated);
   Fn("channels_created", ChannelsCreated);
   Fn("channel_sends", ChannelSends);
   Fn("channel_recvs", ChannelRecvs);

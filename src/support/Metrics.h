@@ -38,6 +38,10 @@ struct MachineStats {
   uint64_t Sends = 0;
   uint64_t Recvs = 0;
   uint64_t Allocations = 0;
+
+  /// Accumulates another stats block. Supervised restarts use it to fold
+  /// a dying attempt's work into the thread's lifetime totals.
+  void merge(const MachineStats &O);
 };
 
 /// Aggregated counters for one runtime execution (one Machine::run or
@@ -69,6 +73,19 @@ struct RuntimeMetrics {
   uint64_t WallMicros = 0;
   /// 1 when the watchdog had to abort the run.
   uint64_t WatchdogFired = 0;
+
+  // Robustness counters (fault injection + supervision).
+  /// Faults fired by the deterministic injector during the run.
+  uint64_t FaultsInjected = 0;
+  /// Thread attempts restarted by the supervision policy.
+  uint64_t ThreadsRestarted = 0;
+  /// Total supervision backoff slept before restarts (computed, so the
+  /// value is deterministic for a given plan/seed).
+  uint64_t RestartBackoffMillis = 0;
+  /// Faults that could not be recovered and escalated to a run abort
+  /// (restart budget exhausted, effects already externalized, or
+  /// supervision disabled).
+  uint64_t FaultsEscalated = 0;
 
   // Channel counters (real-thread executor only).
   uint64_t ChannelsCreated = 0;

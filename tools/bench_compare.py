@@ -25,14 +25,25 @@ import sys
 
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
-    if data.get("schema") != "fearless-bench-v1":
+    """Load a merged baseline, exiting with a one-line diagnostic (no
+    traceback) when the file is missing, unreadable, or not JSON."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read baseline: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: malformed JSON: {e} (regenerate with tools/bench.sh)")
+    if not isinstance(data, dict) or data.get("schema") != "fearless-bench-v1":
         sys.exit(f"{path}: not a fearless-bench-v1 file (see tools/bench.sh)")
     entries = {}
     for bench, payload in data.get("benches", {}).items():
+        if not isinstance(payload, dict):
+            continue
         for bm in payload.get("benchmarks", []):
             # aggregate entries (mean/median/stddev) would double-count
+            if not isinstance(bm, dict) or "name" not in bm:
+                continue
             if bm.get("run_type") == "aggregate":
                 continue
             entries[f"{bench}/{bm['name']}"] = bm
@@ -60,7 +71,7 @@ def counter_rows(bc, cc):
 
 
 def self_test():
-    """Sanity-check counter_rows on baselines with mismatched counters."""
+    """Sanity-check counter_rows and load()'s one-line error handling."""
     bc = {"allocs_per_iter": 0, "gone": 7, "cpu_time": 12.5, "name": "x"}
     cc = {"allocs_per_iter": 1, "elided_checks": 3, "cpu_time": 11.0}
     rows = list(counter_rows(bc, cc))
@@ -71,6 +82,46 @@ def self_test():
     ], rows
     # No numeric counters at all: no rows, no exceptions.
     assert list(counter_rows({"name": "x"}, {})) == []
+
+    # load() must exit with a one-line message — never a traceback — on
+    # missing, malformed, wrong-schema, and wrong-shape inputs.
+    import tempfile
+
+    def expect_exit(path, needle):
+        try:
+            load(path)
+        except SystemExit as e:
+            msg = str(e.code)
+            assert needle in msg, f"expected {needle!r} in {msg!r}"
+            assert "Traceback" not in msg
+            return
+        raise AssertionError(f"load({path!r}) did not exit")
+
+    expect_exit("/nonexistent/baseline.json", "cannot read baseline")
+    cases = [
+        ("{not json", "malformed JSON"),
+        ('{"schema": "something-else"}', "not a fearless-bench-v1 file"),
+        ('["fearless-bench-v1"]', "not a fearless-bench-v1 file"),
+    ]
+    for content, needle in cases:
+        with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
+            f.write(content)
+            f.flush()
+            expect_exit(f.name, needle)
+    # A valid file with degenerate entries loads without KeyError.
+    with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
+        json.dump(
+            {
+                "schema": "fearless-bench-v1",
+                "benches": {
+                    "b": {"benchmarks": [{"run_type": "aggregate"}, {}, 3]},
+                    "c": "not-a-dict",
+                },
+            },
+            f,
+        )
+        f.flush()
+        assert load(f.name) == {}
     print("bench_compare self-test: OK")
     return 0
 

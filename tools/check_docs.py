@@ -12,6 +12,11 @@ Checks, failing with a nonzero exit on the first class of drift found:
  3. Every `--flag` shown on a line mentioning `fearlessc` in README.md or
     docs/OBSERVABILITY.md is actually accepted by tools/fearlessc.cpp
     (stale-flag detection — the drift this tool exists to catch).
+ 4. Every fault point named in src/support/FaultInjector.cpp's PointNames
+    array has a row in docs/OBSERVABILITY.md's fault-point table, and the
+    reverse (the `--faults` spec vocabulary stays documented).
+ 5. fearlessc accepts `--faults` (the flag the robustness docs are
+    written around).
 
 Run from anywhere: paths are resolved relative to the repo root. Wired
 into tools/ci.sh; `--self-test` exercises the extraction logic against
@@ -29,6 +34,7 @@ METRICS_CPP = ROOT / "src" / "support" / "Metrics.cpp"
 OBSERVABILITY_MD = ROOT / "docs" / "OBSERVABILITY.md"
 README_MD = ROOT / "README.md"
 FEARLESSC_CPP = ROOT / "tools" / "fearlessc.cpp"
+FAULTINJECTOR_CPP = ROOT / "src" / "support" / "FaultInjector.cpp"
 
 # The forEach registration rows: Fn("counter_name", Value);
 COUNTER_RE = re.compile(r'Fn\("([a-z_]+)"')
@@ -42,6 +48,18 @@ GLOSSARY_ROW_RE = re.compile(r"^\|\s*`([a-z_]+)`", re.MULTILINE)
 # A CLI flag token: --word[-word...], not preceded by another dash (so
 # comment rules like //----- are not flags).
 FLAG_RE = re.compile(r"(?<![-\w])--([a-z][a-z-]*)\b")
+
+# The fault-point vocabulary: the string literals of the PointNames array
+# in FaultInjector.cpp (the spec / docs / trace names).
+POINT_NAMES_RE = re.compile(
+    r"PointNames\[NumFaultPoints\]\s*=\s*\{(.*?)\}", re.DOTALL
+)
+POINT_LITERAL_RE = re.compile(r'"([a-z.]+)"')
+
+# A documented fault point: a table row whose first cell is `point.name`,
+# inside the "Fault points" subsection of the robustness docs.
+FAULT_TABLE_HEADING = "### Fault points"
+FAULT_ROW_RE = re.compile(r"^\|\s*`([a-z.]+)`", re.MULTILINE)
 
 
 def extract_counters(metrics_src: str) -> set:
@@ -59,6 +77,22 @@ def extract_documented_counters(doc: str) -> set:
 
 def extract_accepted_flags(cli_src: str) -> set:
     return set(FLAG_RE.findall(cli_src))
+
+
+def extract_fault_points(injector_src: str) -> set:
+    m = POINT_NAMES_RE.search(injector_src)
+    if not m:
+        return set()
+    return set(POINT_LITERAL_RE.findall(m.group(1)))
+
+
+def extract_documented_fault_points(doc: str) -> set:
+    start = doc.find(FAULT_TABLE_HEADING)
+    if start < 0:
+        return set()
+    end = doc.find("\n#", start + len(FAULT_TABLE_HEADING))
+    section = doc[start:] if end < 0 else doc[start:end]
+    return set(FAULT_ROW_RE.findall(section))
 
 
 def extract_documented_flags(doc: str) -> list:
@@ -93,6 +127,36 @@ def self_test() -> int:
     lines = "run fearlessc with --trace out.json\nunrelated --flag here\n"
     assert extract_documented_flags(lines) == [(1, "trace")]
 
+    injector = (
+        "static constexpr const char *PointNames[NumFaultPoints] = {\n"
+        '    "chan.send",    "chan.recv",  "heap.alloc",\n'
+        '    "thread.start", "sched.step", "disconnect.traverse",\n'
+        "};\n"
+    )
+    assert extract_fault_points(injector) == {
+        "chan.send",
+        "chan.recv",
+        "heap.alloc",
+        "thread.start",
+        "sched.step",
+        "disconnect.traverse",
+    }
+    assert extract_fault_points("no array here") == set()
+
+    fault_doc = (
+        "## Robustness & fault injection\n"
+        "### Fault points\n"
+        "| `chan.send` | a send completing |\n"
+        "| `heap.alloc` | a language-level new |\n"
+        "\n### Next heading\n"
+        "| `not.a.point` | other table |\n"
+    )
+    assert extract_documented_fault_points(fault_doc) == {
+        "chan.send",
+        "heap.alloc",
+    }
+    assert extract_documented_fault_points("nothing") == set()
+
     print("check_docs: self-test OK")
     return 0
 
@@ -104,7 +168,8 @@ def main() -> int:
     if args.self_test:
         return self_test()
 
-    for path in (METRICS_CPP, OBSERVABILITY_MD, README_MD, FEARLESSC_CPP):
+    for path in (METRICS_CPP, OBSERVABILITY_MD, README_MD, FEARLESSC_CPP,
+                 FAULTINJECTOR_CPP):
         if not path.exists():
             print(f"check_docs: missing {path.relative_to(ROOT)}",
                   file=sys.stderr)
@@ -149,13 +214,48 @@ def main() -> int:
                 )
                 failures += 1
 
+    points = extract_fault_points(FAULTINJECTOR_CPP.read_text())
+    documented_points = extract_documented_fault_points(observability)
+    if not points:
+        print(
+            "check_docs: could not extract the PointNames array from "
+            "src/support/FaultInjector.cpp",
+            file=sys.stderr,
+        )
+        failures += 1
+    for name in sorted(points - documented_points):
+        print(
+            f"check_docs: fault point '{name}' is defined in "
+            f"src/support/FaultInjector.cpp but has no row in "
+            f"docs/OBSERVABILITY.md's fault-point table",
+            file=sys.stderr,
+        )
+        failures += 1
+    for name in sorted(documented_points - points):
+        print(
+            f"check_docs: docs/OBSERVABILITY.md documents fault point "
+            f"'{name}' which src/support/FaultInjector.cpp no longer "
+            f"defines",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    if "faults" not in accepted:
+        print(
+            "check_docs: fearlessc does not accept --faults, but the "
+            "robustness docs depend on it",
+            file=sys.stderr,
+        )
+        failures += 1
+
     if failures:
         print(f"check_docs: {failures} drift issue(s)", file=sys.stderr)
         return 1
 
     print(
         f"check_docs: OK ({len(counters)} counters documented, "
-        f"{len(accepted)} CLI flags consistent)"
+        f"{len(accepted)} CLI flags consistent, "
+        f"{len(points)} fault points documented)"
     )
     return 0
 

@@ -7,10 +7,12 @@
 #
 # Local CI gate: a regular build + test pass (followed by a benchmark
 # smoke run — every bench binary must execute to completion; no perf
-# thresholds, that is tools/bench_compare.py's job), then the same test
-# suite under ThreadSanitizer. The concurrent runtime (ParallelExec,
-# ChannelSet) is the part of this repo most likely to rot silently — TSan
-# keeps the "fearless" claim honest.
+# thresholds, that is tools/bench_compare.py's job), a CLI exit-code
+# smoke, a seeded chaos smoke (fault injection under supervision, 8
+# fixed seeds), then the same test suite and chaos smoke under
+# ThreadSanitizer. The concurrent runtime (ParallelExec, ChannelSet) is
+# the part of this repo most likely to rot silently — TSan and chaos
+# keep the "fearless" claim honest.
 #
 # Usage: tools/ci.sh [extra ctest args...]
 #
@@ -80,6 +82,69 @@ print(f"    valid Chrome trace, {len(events)} events")
 PYEOF
 }
 
+# CLI exit-code smoke: fearlessc's documented exit codes (0 ok, 2 usage,
+# 3 parse, 4 check/verify, 5 runtime fault — docs/OBSERVABILITY.md,
+# "Robustness & fault injection") are part of its interface; scripts and
+# this gate rely on them staying distinct.
+expect_exit() {
+  local want="$1" label="$2"
+  shift 2
+  local got=0
+  "$@" >/dev/null 2>&1 || got=$?
+  if [[ "$got" != "$want" ]]; then
+    echo "==> FAIL: $label: expected exit $want, got $got ($*)" >&2
+    exit 1
+  fi
+  echo "    $label: exit $got"
+}
+
+run_cli_smoke() {
+  local name="$1" dir="$2"
+  local fc="$dir/tools/fearlessc"
+  echo "==> [$name] CLI exit-code smoke"
+  printf 'struct data { value : int;\n' >"$dir/ci_parse_err.fls"
+  cat >"$dir/ci_check_err.fls" <<'EOF'
+struct data { value : int; }
+struct node { iso payload : data; }
+
+def f(x : node, c : bool) : unit {
+  if (c) { send(x) } else { unit }
+}
+EOF
+  expect_exit 0 "success" \
+    "$fc" check "$ROOT/examples/dll_remove.fls"
+  expect_exit 2 "usage (malformed --faults)" \
+    "$fc" run "$ROOT/examples/dll_remove.fls" main --faults 'bogus'
+  expect_exit 3 "parse error" "$fc" check "$dir/ci_parse_err.fls"
+  expect_exit 4 "check rejection" "$fc" check "$dir/ci_check_err.fls"
+  expect_exit 5 "runtime fault" \
+    "$fc" run "$ROOT/examples/dll_remove.fls" main \
+    --faults 'heap.alloc=nth:3,seed=7'
+}
+
+# Chaos smoke: bench_concurrency's FEARLESS_FAULTS hook runs the E7
+# pipeline under a seeded fault plan with supervision on, and fails if
+# the run hangs (watchdog), crashes, or a recovered run diverges from
+# the fault-free baseline. Fixed seeds keep failures reproducible.
+run_chaos_smoke() {
+  local name="$1" dir="$2"
+  local spec
+  for seed in 1 2 3 4 5 6 7 8; do
+    # Odd seeds inject only start-time (restartable) faults, exercising
+    # the recover-and-match-baseline path; even seeds add mid-run faults
+    # that exercise escalation and clean abort.
+    if ((seed % 2)); then
+      spec="thread.start=prob:0.4,seed=$seed"
+    else
+      spec="thread.start=prob:0.3,sched.step=nth:$((seed * 9)),heap.alloc=prob:0.01,seed=$seed"
+    fi
+    echo "==> [$name] chaos smoke (seed $seed: $spec)"
+    FEARLESS_FAULTS="$spec" \
+      "$dir/bench/bench_concurrency" --benchmark_filter=NONE 2>&1 |
+      sed 's/^/    /'
+  done
+}
+
 CTEST_ARGS=("$@")
 
 echo "==> [tools] bench_compare self-test"
@@ -91,10 +156,13 @@ python3 "$ROOT/tools/check_docs.py"
 run_pass "default" "$ROOT/build"
 run_analyze "default" "$ROOT/build"
 run_trace_smoke "default" "$ROOT/build"
+run_cli_smoke "default" "$ROOT/build"
+run_chaos_smoke "default" "$ROOT/build"
 echo "==> [default] bench smoke"
 "$ROOT/tools/bench.sh" --smoke -B "$ROOT/build"
 run_pass "tsan" "$ROOT/build-tsan" -DFEARLESS_SANITIZE=thread
 run_analyze "tsan" "$ROOT/build-tsan"
+run_chaos_smoke "tsan" "$ROOT/build-tsan"
 
 # Compile-out pass: the tracing layer must build with FEARLESS_TRACE=OFF
 # (stub API) and the trace suite must still pass (it guards its

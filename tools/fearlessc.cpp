@@ -22,24 +22,56 @@
 // dynamic traversal even for statically proven disconnect sites),
 // --stats, --metrics (runtime metrics as one JSON line on stdout),
 // --trace FILE (Chrome trace_event JSON for Perfetto/chrome://tracing;
-// composes with --metrics — see docs/OBSERVABILITY.md).
+// composes with --metrics), --faults SPEC (deterministic fault
+// injection, e.g. "chan.send=nth:3,seed=7"; the FEARLESS_FAULTS env var
+// is the no-flag fallback — see docs/OBSERVABILITY.md).
+//
+// Exit codes are distinct per failure class so scripts need not parse
+// messages: 0 ok, 1 generic/internal, 2 usage, 3 parse error, 4
+// check/verify rejection, 5 runtime fault (trap or injected).
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/StaticDisconnect.h"
 #include "driver/Driver.h"
 #include "runtime/Machine.h"
+#include "support/FaultInjector.h"
 #include "support/Trace.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
 using namespace fearless;
 
 namespace {
+
+// Exit codes (documented in docs/OBSERVABILITY.md, "Exit codes").
+constexpr int ExitOk = 0;
+constexpr int ExitError = 1;        // generic / infrastructure
+constexpr int ExitUsage = 2;        // bad invocation (incl. bad --faults)
+constexpr int ExitParse = 3;        // syntax error
+constexpr int ExitCheck = 4;        // region checker / verifier rejection
+constexpr int ExitRuntimeFault = 5; // runtime trap or injected fault
+
+/// Maps a pipeline diagnostic to the CLI exit code for its stage.
+int exitCodeFor(const Diagnostic &D) {
+  switch (D.Stage) {
+  case DiagnosticStage::Parse:
+    return ExitParse;
+  case DiagnosticStage::Check:
+    return ExitCheck;
+  case DiagnosticStage::Runtime:
+    return ExitRuntimeFault;
+  case DiagnosticStage::Unknown:
+    break;
+  }
+  return ExitError;
+}
 
 int usage() {
   std::fprintf(
@@ -54,8 +86,10 @@ int usage() {
       "  dot     <file> <fn>           derivation as a Graphviz digraph\n"
       "  sample  <sll|dll|rbtree|message|trie|extras>  print a sample\n"
       "options: --no-oracle --seed N --no-checks --no-elide --stats "
-      "--metrics --trace FILE\n");
-  return 2;
+      "--metrics --trace FILE --faults SPEC\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 parse error, 4 check "
+      "error, 5 runtime fault\n");
+  return ExitUsage;
 }
 
 Expected<std::string> readFile(const char *Path) {
@@ -76,6 +110,10 @@ struct Options {
   /// Chrome trace_event output path (empty = tracing off). Composes
   /// with --metrics: the trace goes to this file, metrics to stdout.
   std::string TracePath;
+  /// Fault-injection spec from --faults (see support/FaultInjector.h);
+  /// empty = fall back to the FEARLESS_FAULTS env var, then disabled.
+  std::string FaultSpec;
+  bool FaultSpecSet = false;
   uint64_t Seed = 0;
 };
 
@@ -107,7 +145,7 @@ int cmdCheck(const char *Path, const Options &Opts) {
   Expected<Pipeline> P = compileFile(Path, Opts);
   if (!P) {
     std::fprintf(stderr, "%s\n", P.error().render().c_str());
-    return 1;
+    return exitCodeFor(P.error());
   }
   std::printf("%s: OK (%zu functions)\n", Path,
               P->Checked.Functions.size());
@@ -155,10 +193,29 @@ int cmdAnalyzeSamples() {
 
 int cmdRun(const char *Path, const char *Fn,
            const std::vector<int64_t> &Args, const Options &Opts) {
+  // Fault injection: --faults wins; the FEARLESS_FAULTS env var is the
+  // hook for harnesses that cannot edit the command line. A malformed
+  // spec is an invocation error (exit 2), reported before any work.
+  std::unique_ptr<FaultInjector> Faults;
+  std::string FaultSpec = Opts.FaultSpec;
+  if (!Opts.FaultSpecSet) {
+    if (const char *Env = std::getenv("FEARLESS_FAULTS"))
+      FaultSpec = Env;
+  }
+  if (!FaultSpec.empty()) {
+    Expected<FaultPlan> Plan = parseFaultSpec(FaultSpec);
+    if (!Plan) {
+      std::fprintf(stderr, "fearlessc: bad fault spec: %s\n",
+                   Plan.error().Message.c_str());
+      return ExitUsage;
+    }
+    Faults = std::make_unique<FaultInjector>(*Plan);
+  }
+
   Expected<Pipeline> P = compileFile(Path, Opts);
   if (!P) {
     std::fprintf(stderr, "%s\n", P.error().render().c_str());
-    return 1;
+    return exitCodeFor(P.error());
   }
   Symbol Entry = P->Prog->Names.intern(Fn);
   const FnDecl *Decl = P->Prog->findFunction(Entry);
@@ -209,6 +266,7 @@ int cmdRun(const char *Path, const char *Fn,
   MO.CheckReservations = Opts.Checks;
   MO.StaticVerdicts = &Verdicts;
   MO.ElideDisconnect = Opts.Elide;
+  MO.Faults = Faults.get();
   if (!Opts.TracePath.empty())
     MO.Trace = &Trace;
   Machine M(P->Checked, MO);
@@ -220,12 +278,22 @@ int cmdRun(const char *Path, const char *Fn,
     std::string TraceError;
     if (!Trace.writeChromeJson(Opts.TracePath, TraceError)) {
       std::fprintf(stderr, "fearlessc: %s\n", TraceError.c_str());
-      return 1;
+      return ExitError;
     }
   }
   if (!R) {
+    // A structured fault (runtime trap or injection) gets the dedicated
+    // diagnostic and exit code; other failures (deadlock, violation,
+    // step limit) stay generic.
+    if (M.lastFault()) {
+      std::fprintf(stderr, "fearlessc: %s\n",
+                   M.lastFault()->render().c_str());
+      if (Opts.Metrics)
+        std::printf("%s\n", M.metrics().toJson().c_str());
+      return ExitRuntimeFault;
+    }
     std::fprintf(stderr, "%s\n", R.error().render().c_str());
-    return 1;
+    return ExitError;
   }
   std::printf("%s(...) = %s\n", Fn,
               toString(R->ThreadResults[0]).c_str());
@@ -247,7 +315,7 @@ int cmdSig(const char *Path, const Options &Opts) {
   Expected<Pipeline> P = compileFile(Path, Opts);
   if (!P) {
     std::fprintf(stderr, "%s\n", P.error().render().c_str());
-    return 1;
+    return exitCodeFor(P.error());
   }
   for (const auto &[Name, Sig] : P->Checked.Signatures)
     std::printf("%s : %s\n", P->Prog->Names.spelling(Name).c_str(),
@@ -259,7 +327,7 @@ int cmdDerive(const char *Path, const char *Fn, const Options &Opts) {
   Expected<Pipeline> P = compileFile(Path, Opts);
   if (!P) {
     std::fprintf(stderr, "%s\n", P.error().render().c_str());
-    return 1;
+    return exitCodeFor(P.error());
   }
   Symbol Name = P->Prog->Names.intern(Fn);
   auto It = P->Checked.Functions.find(Name);
@@ -277,7 +345,7 @@ int cmdDot(const char *Path, const char *Fn, const Options &Opts) {
   Expected<Pipeline> P = compileFile(Path, Opts);
   if (!P) {
     std::fprintf(stderr, "%s\n", P.error().render().c_str());
-    return 1;
+    return exitCodeFor(P.error());
   }
   Symbol Name = P->Prog->Names.intern(Fn);
   auto It = P->Checked.Functions.find(Name);
@@ -336,7 +404,10 @@ int main(int argc, char **argv) {
       Opts.Metrics = true;
     else if (!std::strcmp(argv[I], "--trace") && I + 1 < argc)
       Opts.TracePath = argv[++I];
-    else if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
+    else if (!std::strcmp(argv[I], "--faults") && I + 1 < argc) {
+      Opts.FaultSpec = argv[++I];
+      Opts.FaultSpecSet = true;
+    } else if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
       Opts.Seed = std::strtoull(argv[++I], nullptr, 10);
     else
       Positional.push_back(argv[I]);
