@@ -21,17 +21,40 @@ void ValueChannel::send(Value V) {
   // the one global lock order.
   Parent.noteSend();
   bool Published = false;
+  ChannelWaiter *Waiter = nullptr;
   {
     std::lock_guard<std::mutex> Lock(M);
     if (State == ChannelState::Open) {
-      Queue.push_back(V);
-      ++Sends;
-      PeakDepth = std::max<uint64_t>(PeakDepth, Queue.size());
+      if (Waiters) {
+        // Direct handoff: a task is parked waiting for exactly this
+        // value — no queue round-trip, no allocation.
+        Waiter = Waiters;
+        Waiters = Waiter->NextWaiter;
+        if (!Waiters)
+          WaitersTail = nullptr;
+        Waiter->NextWaiter = nullptr;
+        Waiter->Handoff = V;
+        Waiter->WakeResult = RecvResult::Ok;
+        ++Sends;
+        ++Recvs; // the waiter consumes it on wake
+        PeakDepth = std::max<uint64_t>(PeakDepth, 1);
+      } else {
+        Queue.push(V);
+        ++Sends;
+        PeakDepth = std::max<uint64_t>(PeakDepth, Queue.size());
+      }
       Published = true;
     }
   }
   if (!Published) {
     Parent.noteSendDropped();
+    return;
+  }
+  if (Waiter) {
+    // The handed-off value is consumed the moment the waiter wakes:
+    // settle the in-flight count and re-activate + unpark the task.
+    Parent.noteRecv();
+    Parent.wakeHandoff(*Waiter);
     return;
   }
   CV.notify_one();
@@ -44,8 +67,7 @@ RecvResult ValueChannel::recv(Value &Out) {
       if (State == ChannelState::Aborted)
         return RecvResult::Aborted;
       if (!Queue.empty()) {
-        Out = Queue.front();
-        Queue.pop_front();
+        Out = Queue.pop();
         ++Recvs;
         break;
       }
@@ -68,17 +90,54 @@ RecvResult ValueChannel::recv(Value &Out) {
   return RecvResult::Ok;
 }
 
-void ValueChannel::close(ChannelState To) {
+RecvAttempt ValueChannel::recvOrPark(Value &Out, ChannelWaiter &W) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (State == ChannelState::Aborted)
+      return RecvAttempt::Aborted;
+    if (!Queue.empty()) {
+      Out = Queue.pop();
+      ++Recvs;
+    } else if (State == ChannelState::Closed) {
+      return RecvAttempt::Closed;
+    } else {
+      // Empty and open: park. FIFO keeps handoff order fair and makes
+      // the waiter/queue disjointness invariant easy to maintain.
+      W.NextWaiter = nullptr;
+      W.WakeResult = RecvResult::Ok;
+      if (WaitersTail)
+        WaitersTail->NextWaiter = &W;
+      else
+        Waiters = &W;
+      WaitersTail = &W;
+      return RecvAttempt::Parked;
+    }
+  }
+  Parent.noteRecv();
+  return RecvAttempt::Got;
+}
+
+ChannelWaiter *ValueChannel::close(ChannelState To) {
+  ChannelWaiter *Woken = nullptr;
   {
     std::lock_guard<std::mutex> Lock(M);
     // Monotone: Open < Closed < Aborted.
     if (To == ChannelState::Closed && State != ChannelState::Open)
-      return;
+      return nullptr;
     State = To;
     if (To == ChannelState::Aborted)
       Queue.clear(); // a hard abort discards in-flight values
+    // Hand every parked task its terminal result. A parked waiter
+    // implies an empty queue (see the Waiters invariant), so Closed is
+    // correct without a drain step.
+    Woken = Waiters;
+    Waiters = WaitersTail = nullptr;
+    for (ChannelWaiter *W = Woken; W; W = W->NextWaiter)
+      W->WakeResult = To == ChannelState::Closed ? RecvResult::Closed
+                                                 : RecvResult::Aborted;
   }
   CV.notify_all();
+  return Woken;
 }
 
 size_t ValueChannel::sizeApprox() const {
@@ -162,6 +221,38 @@ void ChannelSet::exitBlockedRecv() {
   ++ActiveThreads;
 }
 
+void ChannelSet::taskParked() {
+  // Same accounting as a thread blocking in recv. Called *after* the
+  // waiter is queued, so the +1 of any racing wake (handoff or closure)
+  // can only make ActiveThreads transiently overcount — delaying
+  // quiescence, never firing it early.
+  enterBlockedRecv();
+}
+
+void ChannelSet::wakeHandoff(ChannelWaiter &W) {
+  std::lock_guard<std::mutex> Lock(M);
+  // The +1 is applied before the sink can reschedule the task, pairing
+  // with the parker's (possibly still pending) -1.
+  ++ActiveThreads;
+  if (Sink)
+    Sink->unpark(W);
+}
+
+ChannelState ChannelSet::state() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Shutdown;
+}
+
+void ChannelSet::setUnparkSink(TaskUnparkSink *S) {
+  std::lock_guard<std::mutex> Lock(M);
+  Sink = S;
+}
+
+void ChannelSet::setShutdownHook(std::function<void()> Hook) {
+  std::lock_guard<std::mutex> Lock(M);
+  ShutdownHook = std::move(Hook);
+}
+
 void ChannelSet::maybeQuiesceLocked() {
   // No potential sender and nothing in flight: every blocked receiver is
   // waiting for a value that can never arrive. Close cleanly.
@@ -184,8 +275,21 @@ void ChannelSet::shutdownLocked(ChannelState To) {
                    "channel", "channels", Channels.size());
   for (auto &[Ty, Chan] : Channels) {
     (void)Ty;
-    Chan->close(To);
+    ChannelWaiter *Woken = Chan->close(To);
+    // Waking a parked task makes it runnable (it will observe its
+    // Closed/Aborted result and finish): re-activate before unparking,
+    // mirroring wakeHandoff. Both happen under M — the permitted
+    // set->scheduler lock direction.
+    for (ChannelWaiter *W = Woken; W;) {
+      ChannelWaiter *Next = W->NextWaiter;
+      ++ActiveThreads;
+      if (Sink)
+        Sink->unpark(*W);
+      W = Next;
+    }
   }
+  if (ShutdownHook)
+    ShutdownHook();
 }
 
 void ChannelSet::collectMetrics(RuntimeMetrics &Out) {

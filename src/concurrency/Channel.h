@@ -22,6 +22,22 @@
 /// watchdog) instead puts channels in the Aborted state, which wakes
 /// receivers immediately without draining.
 ///
+/// Two blocking disciplines share the protocol (docs/SCHEDULER.md):
+///
+///  - OS mode: `recv` blocks the calling thread on the channel's
+///    condition variable (the legacy thread-per-spawn executor).
+///  - Task mode: `recvOrPark` never blocks — when no value is ready the
+///    caller's intrusive ChannelWaiter is queued on the channel and the
+///    *task* parks. A later send hands its value directly to the oldest
+///    waiter (no queue round-trip) and unparks it through the set's
+///    TaskUnparkSink; channel closure wakes every waiter with the
+///    Closed/Aborted result instead.
+///
+/// Lock order (global, deadlock-freedom invariant): set mutex -> channel
+/// mutex -> scheduler internals. The unpark sink and the shutdown hook
+/// are invoked with the set mutex held and may take scheduler locks, but
+/// must never re-enter the channel set.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FEARLESS_CONCURRENCY_CHANNEL_H
@@ -33,10 +49,11 @@
 #include "support/Trace.h"
 
 #include <condition_variable>
-#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 namespace fearless {
 
@@ -56,14 +73,94 @@ enum class RecvResult {
   Aborted, ///< The run was torn down.
 };
 
+/// Outcome of a non-blocking receive-or-park attempt (task mode).
+enum class RecvAttempt {
+  Got,     ///< A value was dequeued; the task keeps running.
+  Parked,  ///< The waiter was queued on the channel; the task parked.
+  Closed,  ///< Drained and no sender can ever publish again.
+  Aborted, ///< The run was torn down.
+};
+
+/// Intrusive park node for one blocked task. Embedded in the scheduler's
+/// task object, so parking and unparking allocate nothing. While queued
+/// on a channel the node is owned by that channel (guarded by its
+/// mutex); after the wake callback fires it belongs to the scheduler
+/// again, with `WakeResult` (and `Handoff` when Ok) telling the resumed
+/// task how its recv ended.
+struct ChannelWaiter {
+  ChannelWaiter *NextWaiter = nullptr;
+  /// The value a sender handed directly to this waiter (WakeResult Ok).
+  Value Handoff;
+  RecvResult WakeResult = RecvResult::Ok;
+};
+
+/// Scheduler-side wake callback: makes a previously parked task runnable
+/// again. Invoked with the set mutex held (see the lock-order note in
+/// the file header); implementations may take scheduler locks but must
+/// not call back into the channel set.
+class TaskUnparkSink {
+public:
+  virtual ~TaskUnparkSink() = default;
+  virtual void unpark(ChannelWaiter &W) = 0;
+};
+
+/// Growable FIFO ring of in-flight values. Steady-state push/pop cycles
+/// reuse capacity and never allocate — a std::deque here would allocate a
+/// fresh block every few hundred operations as its cursor crosses block
+/// boundaries, breaking the scheduler's allocation-free park/unpark
+/// guarantee whenever a send races ahead of the matching park (the
+/// bench_scheduler differential allocation check catches this under
+/// ThreadSanitizer timing). Values are trivial scalars (runtime/Value.h),
+/// so popped slots need no destruction.
+class ValueRing {
+public:
+  /// The initial capacity is allocated eagerly at channel creation, not
+  /// lazily on the first buffered send: whether a send buffers (instead
+  /// of handing off to a parked waiter) depends on thread timing, and a
+  /// lazy first-touch allocation would make the steady state
+  /// nondeterministically non-allocation-free.
+  ValueRing() : Buf(8) {}
+
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
+  void push(Value V) {
+    if (Count == Buf.size())
+      grow();
+    Buf[(Head + Count) % Buf.size()] = V;
+    ++Count;
+  }
+  Value pop() {
+    Value V = Buf[Head];
+    Head = (Head + 1) % Buf.size();
+    --Count;
+    return V;
+  }
+  /// Discards queued values; capacity is retained.
+  void clear() { Head = Count = 0; }
+
+private:
+  void grow() {
+    std::vector<Value> Next(Buf.size() * 2);
+    for (size_t I = 0; I < Count; ++I)
+      Next[I] = Buf[(Head + I) % Buf.size()];
+    Buf.swap(Next);
+    Head = 0;
+  }
+
+  std::vector<Value> Buf;
+  size_t Head = 0, Count = 0;
+};
+
 /// A blocking multi-producer multi-consumer value queue.
 class ValueChannel {
 public:
   ValueChannel(ChannelSet &Parent, ChannelState Initial)
       : Parent(Parent), State(Initial) {}
 
-  /// Enqueues \p V; never blocks (unbounded). During shutdown the value
-  /// is dropped and counted in the set's dropped-value metric.
+  /// Enqueues \p V; never blocks (unbounded). When a task is parked on
+  /// this channel the value is handed to the oldest waiter directly and
+  /// the waiter is unparked through the set's sink. During shutdown the
+  /// value is dropped and counted in the set's dropped-value metric.
   void send(Value V);
 
   /// Dequeues a value, blocking until one is available or the channel
@@ -71,10 +168,19 @@ public:
   /// first; on an Aborted channel the call returns immediately.
   RecvResult recv(Value &Out);
 
+  /// Non-blocking task-mode receive: dequeues into \p Out (Got), or
+  /// queues \p W on the channel (Parked — the caller must then tell the
+  /// set via taskParked() that this task is no longer a potential
+  /// sender), or reports the shutdown state. Never blocks the calling
+  /// OS thread.
+  RecvAttempt recvOrPark(Value &Out, ChannelWaiter &W);
+
   /// Transitions to \p To (Closed or Aborted) and wakes all blocked
   /// receivers. Open → Closed → Aborted transitions only; a close never
-  /// reopens and an abort is terminal.
-  void close(ChannelState To);
+  /// reopens and an abort is terminal. Returns the chain of task
+  /// waiters that were queued (their WakeResult already set); the caller
+  /// (ChannelSet::shutdownLocked) re-activates and unparks them.
+  ChannelWaiter *close(ChannelState To);
 
   size_t sizeApprox() const;
 
@@ -84,8 +190,13 @@ private:
   ChannelSet &Parent;
   mutable std::mutex M;
   std::condition_variable CV;
-  std::deque<Value> Queue;
+  ValueRing Queue;
   ChannelState State;
+  /// FIFO chain of parked tasks (task mode). Invariant: non-empty only
+  /// while Queue is empty and State is Open — a send prefers handoff to
+  /// enqueueing, and a task parks only on an empty open channel.
+  ChannelWaiter *Waiters = nullptr;
+  ChannelWaiter *WaitersTail = nullptr;
   // Per-channel counters, guarded by M.
   uint64_t Sends = 0;
   uint64_t Recvs = 0;
@@ -117,6 +228,29 @@ public:
   /// queued values are discarded.
   void abortAll();
 
+  /// The set-wide shutdown state (Open until quiescence/closeAll/abort).
+  /// Restarting workers consult it so a post-restart attempt observes a
+  /// closing run as clean cancellation instead of retrying into closed
+  /// channels.
+  ChannelState state() const;
+
+  /// Task mode: one task parked on a channel — like a thread blocking in
+  /// recv, it is no longer a potential sender. May complete quiescence
+  /// (which immediately wakes the parked task with RecvResult::Closed).
+  /// Call *after* recvOrPark returned Parked, outside any channel lock.
+  void taskParked();
+
+  /// Installs the scheduler's wake callback for parked tasks. Must be
+  /// set before any task parks and cleared (null) only once no waiter
+  /// can remain. Invoked with the set mutex held.
+  void setUnparkSink(TaskUnparkSink *Sink);
+
+  /// Installs a callback fired on every set-wide shutdown transition
+  /// (Open→Closed, →Aborted), with the set mutex held. Executors use it
+  /// to interrupt restart-backoff sleeps promptly instead of letting a
+  /// worker finish a multi-second sleep into a dead run. Null detaches.
+  void setShutdownHook(std::function<void()> Hook);
+
   /// Adds this set's channel counters into \p Out.
   void collectMetrics(RuntimeMetrics &Out);
 
@@ -136,6 +270,10 @@ private:
   void noteRecv();        ///< A value was consumed.
   void enterBlockedRecv(); ///< A worker is about to block in recv.
   void exitBlockedRecv();  ///< The worker woke up again.
+  /// A sender handed its value straight to the parked waiter \p W: the
+  /// task becomes a potential sender again (+1 active, applied before
+  /// the task can be rescheduled) and is unparked through the sink.
+  void wakeHandoff(ChannelWaiter &W);
 
   /// Pre: M held. Closes every existing channel and records the state
   /// for channels created later.
@@ -144,7 +282,7 @@ private:
   /// remains and no value is in flight.
   void maybeQuiesceLocked();
 
-  std::mutex M;
+  mutable std::mutex M;
   std::map<Type, std::unique_ptr<ValueChannel>> Channels;
   /// Registered workers that are neither finished nor blocked in recv.
   size_t ActiveThreads = 0;
@@ -154,6 +292,11 @@ private:
   ChannelState Shutdown = ChannelState::Open;
   /// Lifecycle trace buffer; written only under M.
   TraceBuffer *Trace = nullptr;
+  /// Task-mode wake callback (null in OS mode); guarded by M, invoked
+  /// under M.
+  TaskUnparkSink *Sink = nullptr;
+  /// Shutdown-transition callback; guarded by M, invoked under M.
+  std::function<void()> ShutdownHook;
 };
 
 } // namespace fearless

@@ -6,12 +6,14 @@
 
 #include "concurrency/ParallelExec.h"
 
+#include "concurrency/Backoff.h"
+#include "concurrency/TaskScheduler.h"
+
 #include <atomic>
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
-#include <optional>
 #include <thread>
 
 using namespace fearless;
@@ -24,7 +26,7 @@ void ParallelExec::spawn(Symbol FnName, std::vector<Value> Args) {
   assert(!Ran && "spawn after run(): the entry list is already snapshot");
   if (Ran)
     return;
-  Entries.push_back(Entry{FnName, std::move(Args)});
+  Entries.push_back(SpawnEntry{FnName, std::move(Args)});
 }
 
 Expected<std::vector<Value>> ParallelExec::run() {
@@ -32,34 +34,127 @@ Expected<std::vector<Value>> ParallelExec::run() {
     return fail("ParallelExec::run() may be called at most once per "
                 "executor");
   Ran = true;
-  // Snapshot the entries: workers index a vector that can no longer
+  // Snapshot the entries: the engines index a vector that can no longer
   // grow or reallocate under them.
-  const std::vector<Entry> Work = std::move(Entries);
+  const std::vector<SpawnEntry> Work = std::move(Entries);
   Entries.clear();
+  return Opts.OsThreads ? runOsThreads(Work) : runTasks(Work);
+}
 
-  enum class Outcome { Cancelled, Finished, Errored };
-  struct Slot {
-    Value Result;
-    std::string Error;
-    Outcome Out = Outcome::Cancelled;
-    MachineStats Stats;
-    /// Structured fault of the final attempt, when it died to one.
-    std::optional<RuntimeFault> Fault;
-    /// Supervision bookkeeping (merged into RuntimeMetrics at join).
-    uint32_t Restarts = 0;
-    uint64_t BackoffMillis = 0;
-    bool Escalated = false;
-  };
-  std::vector<Slot> Slots(Work.size());
+namespace {
+
+/// The epilogue both engines share: fold the per-thread records into the
+/// metrics registry, close the exec.run span, and turn errors/watchdog
+/// expiry into the run's diagnostic. Keeping it common is what makes
+/// "same counters, same failure text" across modes a structural fact
+/// rather than a test-enforced coincidence.
+Expected<std::vector<Value>>
+finalizeRun(const ParallelExecOptions &Opts, ChannelSet &Channels,
+            Heap &TheHeap, RuntimeMetrics &Metrics,
+            const std::vector<ThreadRunResult> &Slots, size_t NumThreads,
+            bool WatchdogFired, std::chrono::steady_clock::time_point Started,
+            TraceBuffer *TraceCtl, uint64_t TraceExecStart) {
+  Metrics.ThreadsSpawned = NumThreads;
+  Metrics.WatchdogFired = WatchdogFired ? 1 : 0;
+  Metrics.HeapObjects = TheHeap.size();
+  Metrics.WallMicros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Started)
+          .count());
+  Metrics.FaultsInjected = Opts.Faults ? Opts.Faults->totalFired() : 0;
+  for (const ThreadRunResult &S : Slots) {
+    Metrics.mergeThread(S.Stats);
+    Metrics.ThreadsRestarted += S.Restarts;
+    Metrics.RestartBackoffMillis += S.BackoffMillis;
+    Metrics.FaultsEscalated += S.Escalated ? 1 : 0;
+    switch (S.Out) {
+    case ThreadRunOutcome::Finished:
+      ++Metrics.ThreadsFinished;
+      break;
+    case ThreadRunOutcome::Cancelled:
+      ++Metrics.ThreadsCancelled;
+      break;
+    case ThreadRunOutcome::Errored:
+      ++Metrics.ThreadsErrored;
+      break;
+    }
+  }
+  Channels.collectMetrics(Metrics);
+  if (TraceCtl)
+    TraceCtl->record("exec.run", "executor", 'X', TraceExecStart,
+                     TraceCtl->now() - TraceExecStart, "threads",
+                     NumThreads);
+
+  // Report every failed thread, not just the first.
+  std::string Errors;
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    if (Slots[I].Out != ThreadRunOutcome::Errored)
+      continue;
+    if (!Errors.empty())
+      Errors += "; ";
+    Errors += "parallel thread " + std::to_string(I) + ": " +
+              Slots[I].Error;
+  }
+  if (WatchdogFired) {
+    std::string Msg = "watchdog: run exceeded " +
+                      std::to_string(Opts.WatchdogMillis) + "ms with " +
+                      std::to_string(Metrics.ThreadsCancelled) +
+                      " thread(s) unfinished; aborted";
+    Errors = Errors.empty() ? Msg : Msg + "; " + Errors;
+  }
+  if (!Errors.empty())
+    return fail(Errors);
+
+  std::vector<Value> Results;
+  for (const ThreadRunResult &S : Slots)
+    Results.push_back(S.Result);
+  return Results;
+}
+
+} // namespace
+
+Expected<std::vector<Value>>
+ParallelExec::runTasks(const std::vector<SpawnEntry> &Work) {
+  auto Started = std::chrono::steady_clock::now();
+  TaskScheduler Sched(Checked, TheHeap, Channels, Opts);
+  TaskScheduler::RunStats SStats;
+  std::vector<ThreadRunResult> Slots = Sched.run(Work, SStats);
+  Metrics = RuntimeMetrics();
+  Metrics.TasksSpawned = SStats.TasksSpawned;
+  Metrics.Steals = SStats.Steals;
+  Metrics.Parks = SStats.Parks;
+  return finalizeRun(Opts, Channels, TheHeap, Metrics, Slots, Work.size(),
+                     SStats.WatchdogFired, Started, SStats.Ctl,
+                     SStats.ExecStartNs);
+}
+
+Expected<std::vector<Value>>
+ParallelExec::runOsThreads(const std::vector<SpawnEntry> &Work) {
+  std::vector<ThreadRunResult> Slots(Work.size());
   std::vector<std::thread> Workers;
   std::atomic<bool> Abort{false};
   std::mutex DoneM;
   std::condition_variable DoneCV;
   size_t DoneCount = 0;
+  // Backoff interruption: a worker sleeping before a restart attempt
+  // waits on WakeCV instead of a hard sleep_for, so a hard abort or the
+  // watchdog cancels a multi-second backoff promptly. ShutdownSeen is an
+  // atomic (not a Channels.state() call) because the wait predicate runs
+  // under WakeM while the shutdown hook fires under the set mutex and
+  // then takes WakeM — reading the set state from the predicate would
+  // invert that order.
+  std::atomic<bool> ShutdownSeen{false};
+  std::mutex WakeM;
+  std::condition_variable WakeCV;
 
   Channels.registerThreads(Work.size());
+  Channels.setShutdownHook([&] {
+    ShutdownSeen.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(WakeM);
+    WakeCV.notify_all();
+  });
 
-  // Tracing: register every buffer up front (worker I → tid I+1) so no
+  // Tracing: register every buffer up front (worker I -> tid I+1) so no
   // worker touches the session mutex after it starts. The executor's
   // control buffer is tid 0; the channel set's lifecycle buffer sits
   // past the workers and is written only under the set mutex.
@@ -79,9 +174,10 @@ Expected<std::vector<Value>> ParallelExec::run() {
 
   for (size_t I = 0; I < Work.size(); ++I) {
     Workers.emplace_back([this, I, &Work, &Slots, &Abort, &DoneM, &DoneCV,
-                          &DoneCount, &WorkerTrace] {
-      const Entry &E = Work[I];
-      Slot &S = Slots[I];
+                          &DoneCount, &WorkerTrace, &ShutdownSeen, &WakeM,
+                          &WakeCV] {
+      const SpawnEntry &E = Work[I];
+      ThreadRunResult &S = Slots[I];
       const FnDecl *Fn = Checked.Prog->findFunction(E.Fn);
       assert(Fn && "spawning an unknown function");
       assert(E.Args.size() == Fn->Params.size() && "spawn arity");
@@ -95,6 +191,18 @@ Expected<std::vector<Value>> ParallelExec::run() {
       // 0 (the default) the body runs exactly once and behaves like the
       // unsupervised executor.
       for (uint32_t Attempt = 0;; ++Attempt) {
+        // A restart attempt that wakes into a closing run stops cleanly
+        // instead of retrying against closed channels (which would read
+        // as a fresh fault, not the cancellation it really is).
+        if (Attempt > 0 &&
+            (Abort.load(std::memory_order_relaxed) ||
+             Channels.state() != ChannelState::Open)) {
+          S.Result = Value::unitVal();
+          S.Error.clear();
+          S.Fault.reset();
+          S.Out = ThreadRunOutcome::Cancelled;
+          break;
+        }
         // Fresh configuration per attempt: the dead attempt's partial
         // reservation is simply dropped — region isolation guarantees no
         // peer could see it (objects it allocated leak until the heap
@@ -124,7 +232,7 @@ Expected<std::vector<Value>> ParallelExec::run() {
 
         S.Fault.reset();
         S.Error.clear();
-        S.Out = Outcome::Cancelled;
+        S.Out = ThreadRunOutcome::Cancelled;
 
         // thread.start fault point: the attempt dies before its first
         // step (always effect-free, so always retryable).
@@ -134,10 +242,10 @@ Expected<std::vector<Value>> ParallelExec::run() {
               static_cast<uint32_t>(FaultPoint::ThreadStart),
               static_cast<uint32_t>(I)};
           S.Error = S.Fault->render();
-          S.Out = Outcome::Errored;
+          S.Out = ThreadRunOutcome::Errored;
         }
 
-        bool Done = S.Out == Outcome::Errored;
+        bool Done = S.Out == ThreadRunOutcome::Errored;
         while (!Done && !Abort.load(std::memory_order_relaxed)) {
           // sched.step fault point: the executor's per-step pulse.
           if (Faults && Faults->shouldFire(FaultPoint::SchedStep)) {
@@ -146,7 +254,7 @@ Expected<std::vector<Value>> ParallelExec::run() {
                 static_cast<uint32_t>(FaultPoint::SchedStep),
                 static_cast<uint32_t>(I)};
             S.Error = S.Fault->render();
-            S.Out = Outcome::Errored;
+            S.Out = ThreadRunOutcome::Errored;
             break;
           }
           StepOutcome Out = stepThread(T, Services);
@@ -155,7 +263,7 @@ Expected<std::vector<Value>> ParallelExec::run() {
             break;
           case StepOutcome::Finished:
             S.Result = T.Result;
-            S.Out = Outcome::Finished;
+            S.Out = ThreadRunOutcome::Finished;
             Done = true;
             break;
           case StepOutcome::BlockedSend: {
@@ -190,7 +298,7 @@ Expected<std::vector<Value>> ParallelExec::run() {
               // Aborted: another thread failed or the watchdog fired;
               // the originating diagnostic is reported, not this thread.
               S.Result = Value::unitVal();
-              S.Out = Outcome::Cancelled;
+              S.Out = ThreadRunOutcome::Cancelled;
               Done = true;
               break;
             }
@@ -199,14 +307,14 @@ Expected<std::vector<Value>> ParallelExec::run() {
           case StepOutcome::Stuck:
             S.Error = T.Error;
             S.Fault = T.Fault;
-            S.Out = Outcome::Errored;
+            S.Out = ThreadRunOutcome::Errored;
             Done = true;
             break;
           }
         }
         Lifetime.merge(Stats);
 
-        if (S.Out != Outcome::Errored)
+        if (S.Out != ThreadRunOutcome::Errored)
           break;
 
         // Supervision: restart only a *fault* death (typed — injected or
@@ -218,25 +326,25 @@ Expected<std::vector<Value>> ParallelExec::run() {
                          Stats.Recvs == 0 &&
                          !Abort.load(std::memory_order_relaxed);
         if (Retryable && Attempt < Opts.MaxRestarts) {
-          uint64_t Backoff =
-              Attempt < 63 ? Opts.RestartBackoffMillis << Attempt
-                           : Opts.RestartBackoffCapMillis;
-          if (Backoff > Opts.RestartBackoffCapMillis)
-            Backoff = Opts.RestartBackoffCapMillis;
-          // Deterministic jitter from (seed, thread, attempt): decorrela-
-          // tes the restart herd without losing reproducibility.
-          uint64_t J = Opts.RestartSeed + 0x9E3779B97F4A7C15ull * (I + 1) +
-                       Attempt;
-          J = (J ^ (J >> 30)) * 0xBF58476D1CE4E5B9ull;
-          J = (J ^ (J >> 27)) * 0x94D049BB133111EBull;
-          uint64_t Sleep = Backoff + (Backoff ? J % (Backoff + 1) : 0);
+          uint64_t Sleep = jitteredRestartMillis(
+              Opts.RestartBackoffMillis, Opts.RestartBackoffCapMillis,
+              Opts.RestartSeed, I, Attempt);
           S.BackoffMillis += Sleep;
           ++S.Restarts;
           if (TB)
             TB->instant("thread.restart", "thread", "attempt",
                         Attempt + 1);
-          if (Sleep)
-            std::this_thread::sleep_for(std::chrono::milliseconds(Sleep));
+          if (Sleep) {
+            // Abort-aware backoff: woken early by a hard abort or any
+            // channel-set shutdown instead of sleeping the full backoff
+            // into a dead run.
+            std::unique_lock<std::mutex> WLock(WakeM);
+            WakeCV.wait_for(
+                WLock, std::chrono::milliseconds(Sleep), [&] {
+                  return Abort.load(std::memory_order_relaxed) ||
+                         ShutdownSeen.load(std::memory_order_relaxed);
+                });
+          }
           continue;
         }
 
@@ -254,9 +362,10 @@ Expected<std::vector<Value>> ParallelExec::run() {
       }
 
       if (TB) {
-        const char *OutName = S.Out == Outcome::Finished   ? "finished"
-                              : S.Out == Outcome::Errored ? "errored"
-                                                          : "cancelled";
+        const char *OutName =
+            S.Out == ThreadRunOutcome::Finished  ? "finished"
+            : S.Out == ThreadRunOutcome::Errored ? "errored"
+                                                 : "cancelled";
         TB->instant(OutName, "thread");
         TB->record("thread.run", "thread", 'X', TraceRunStart,
                    TB->now() - TraceRunStart, "steps", Lifetime.Steps);
@@ -297,12 +406,17 @@ Expected<std::vector<Value>> ParallelExec::run() {
               AllDone);
         }
         // Stage 2, hard abort: spinning workers ignore the soft cancel;
-        // stop them at the next step boundary and wake everyone.
+        // stop them at the next step boundary and wake everyone —
+        // including workers sleeping out a restart backoff.
         if (!Quiesced) {
           if (TraceCtl)
             TraceCtl->instant("watchdog.hard_abort", "executor");
           Abort.store(true, std::memory_order_relaxed);
           Channels.abortAll();
+          {
+            std::lock_guard<std::mutex> WLock(WakeM);
+            WakeCV.notify_all();
+          }
           DoneCV.wait(Lock, AllDone);
         }
       }
@@ -312,61 +426,9 @@ Expected<std::vector<Value>> ParallelExec::run() {
   }
   for (std::thread &W : Workers)
     W.join();
+  Channels.setShutdownHook(nullptr);
 
   Metrics = RuntimeMetrics();
-  Metrics.ThreadsSpawned = Work.size();
-  Metrics.WatchdogFired = WatchdogFired ? 1 : 0;
-  Metrics.HeapObjects = TheHeap.size();
-  Metrics.WallMicros = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - Started)
-          .count());
-  Metrics.FaultsInjected = Opts.Faults ? Opts.Faults->totalFired() : 0;
-  for (const Slot &S : Slots) {
-    Metrics.mergeThread(S.Stats);
-    Metrics.ThreadsRestarted += S.Restarts;
-    Metrics.RestartBackoffMillis += S.BackoffMillis;
-    Metrics.FaultsEscalated += S.Escalated ? 1 : 0;
-    switch (S.Out) {
-    case Outcome::Finished:
-      ++Metrics.ThreadsFinished;
-      break;
-    case Outcome::Cancelled:
-      ++Metrics.ThreadsCancelled;
-      break;
-    case Outcome::Errored:
-      ++Metrics.ThreadsErrored;
-      break;
-    }
-  }
-  Channels.collectMetrics(Metrics);
-  if (TraceCtl)
-    TraceCtl->record("exec.run", "executor", 'X', TraceExecStart,
-                     TraceCtl->now() - TraceExecStart, "threads",
-                     Work.size());
-
-  // Report every failed thread, not just the first.
-  std::string Errors;
-  for (size_t I = 0; I < Slots.size(); ++I) {
-    if (Slots[I].Out != Outcome::Errored)
-      continue;
-    if (!Errors.empty())
-      Errors += "; ";
-    Errors += "parallel thread " + std::to_string(I) + ": " +
-              Slots[I].Error;
-  }
-  if (WatchdogFired) {
-    std::string Msg = "watchdog: run exceeded " +
-                      std::to_string(Opts.WatchdogMillis) + "ms with " +
-                      std::to_string(Metrics.ThreadsCancelled) +
-                      " thread(s) unfinished; aborted";
-    Errors = Errors.empty() ? Msg : Msg + "; " + Errors;
-  }
-  if (!Errors.empty())
-    return fail(Errors);
-
-  std::vector<Value> Results;
-  for (const Slot &S : Slots)
-    Results.push_back(S.Result);
-  return Results;
+  return finalizeRun(Opts, Channels, TheHeap, Metrics, Slots, Work.size(),
+                     WatchdogFired, Started, TraceCtl, TraceExecStart);
 }

@@ -5,12 +5,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The "production" runtime: each language thread runs on its own OS
-/// thread over the shared heap, with the dynamic reservation checks
-/// *erased* (Theorems 6.1/6.2 make them redundant for checked programs)
-/// and send/recv realized by real blocking channels. Object accesses take
-/// no locks — that is fearless concurrency: the type system already
-/// guarantees threads touch disjoint parts of the heap.
+/// The "production" runtime: language threads run over the shared heap
+/// with the dynamic reservation checks *erased* (Theorems 6.1/6.2 make
+/// them redundant for checked programs) and send/recv realized by real
+/// channels. Object accesses take no locks — that is fearless
+/// concurrency: the type system already guarantees threads touch
+/// disjoint parts of the heap.
+///
+/// Two execution modes share every protocol below (same counters, same
+/// trace event names, same deterministic fault replay):
+///
+///  - **Task mode (default)**: language threads are resumable green
+///    tasks on an M:N work-stealing scheduler (TaskScheduler.h) — a
+///    fixed pool of OS workers, per-worker run queues, channel send/recv
+///    that parks and unparks *tasks*. Scales to 100k language threads
+///    (bench_scheduler); docs/SCHEDULER.md describes the machinery.
+///  - **OS mode (`OsThreads = true`)**: the legacy thread-per-spawn
+///    executor, kept as the differential baseline — results must stay
+///    bit-identical across modes (tests/scheduler_test.cpp).
 ///
 /// Shutdown protocol: when every thread that could still send has
 /// finished, the channel set closes cleanly and threads blocked in recv
@@ -86,6 +98,28 @@ struct ParallelExecOptions {
   /// span), the channel set a lifecycle buffer, and the executor a
   /// control buffer (watchdog). Null = disabled. Must outlive run().
   TraceSession *Trace = nullptr;
+  /// Task mode: size of the worker pool. 0 = auto (min(2x hardware
+  /// threads, number of spawned tasks)). Ignored in OS mode.
+  size_t NumWorkers = 0;
+  /// Task mode: scheduling-decision seed (`--sched-seed`). Seed 0 keeps
+  /// round-robin initial placement and sequential steal order (the
+  /// near-deterministic default); a nonzero seed permutes both, giving
+  /// the property sweeps distinct-but-reproducible schedules. Results of
+  /// checked programs are schedule-independent either way.
+  uint64_t SchedSeed = 0;
+  /// Task mode: steps a task may run before it is preempted back to the
+  /// run queue, bounding how long a spinner can monopolize a worker.
+  uint32_t PreemptQuantum = 128;
+  /// Use the legacy thread-per-spawn executor (one OS thread per
+  /// language thread) instead of the task scheduler. Kept for
+  /// differential testing: both modes must produce identical results.
+  bool OsThreads = false;
+};
+
+/// One registered entry point (a language thread to run).
+struct SpawnEntry {
+  Symbol Fn;
+  std::vector<Value> Args;
 };
 
 /// Runs a set of entry functions on OS threads until all finish.
@@ -114,16 +148,18 @@ public:
   const RuntimeMetrics &metrics() const { return Metrics; }
 
 private:
-  struct Entry {
-    Symbol Fn;
-    std::vector<Value> Args;
-  };
+  /// The legacy thread-per-spawn execution engine.
+  Expected<std::vector<Value>> runOsThreads(
+      const std::vector<SpawnEntry> &Work);
+  /// The M:N task-scheduler execution engine (TaskScheduler.h).
+  Expected<std::vector<Value>> runTasks(
+      const std::vector<SpawnEntry> &Work);
 
   const CheckedProgram &Checked;
   ParallelExecOptions Opts;
   Heap TheHeap;
   ChannelSet Channels;
-  std::vector<Entry> Entries;
+  std::vector<SpawnEntry> Entries;
   RuntimeMetrics Metrics;
   bool Ran = false;
 };

@@ -1,0 +1,534 @@
+//===- concurrency/TaskScheduler.cpp --------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrency/TaskScheduler.h"
+
+#include "concurrency/Backoff.h"
+#include "support/FaultInjector.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fearless;
+
+namespace {
+
+/// splitmix64 finalizer: the scheduler's only randomness source, so every
+/// placement and steal order is a pure function of SchedSeed.
+uint64_t mix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+TaskScheduler::TaskScheduler(const CheckedProgram &Checked, Heap &TheHeap,
+                             ChannelSet &Channels,
+                             const ParallelExecOptions &Opts)
+    : Checked(Checked), TheHeap(TheHeap), Channels(Channels), Opts(Opts) {}
+
+void TaskScheduler::unpark(ChannelWaiter &W) {
+  // Called with the channel-set mutex held (set -> sched is the permitted
+  // lock direction). Only enqueue: running the task inline here could
+  // re-enter the channel set (threadFinished) and self-deadlock.
+  Task *T = static_cast<Task *>(&W);
+  {
+    std::lock_guard<std::mutex> Lock(SchedM);
+    Inject.push(T);
+  }
+  WorkCV.notify_one();
+}
+
+InterpServices TaskScheduler::services(Task &T) {
+  InterpServices Services;
+  Services.TheHeap = &TheHeap;
+  Services.Prog = Checked.Prog;
+  Services.Stats = &T.AttemptStats;
+  Services.SendTypes = &Checked.SendTypes;
+  Services.CheckReservations = false; // erased: checker proved them
+  Services.Faults = Opts.Faults;
+  return Services;
+}
+
+void TaskScheduler::workerLoop(size_t W) {
+  while (Task *T = nextTask(W))
+    resume(W, *T);
+}
+
+TaskScheduler::Task *TaskScheduler::nextTask(size_t W) {
+  Worker &Me = Workers[W];
+  for (;;) {
+    // Global sources first — unparked tasks and due backoff timers —
+    // so a busy local queue can never starve them. A shutdown (abort or
+    // channel closure) expedites every pending timer: the woken attempt
+    // observes the dead run and stops cleanly instead of sleeping a
+    // multi-second backoff into it.
+    {
+      std::unique_lock<std::mutex> Lock(SchedM);
+      if (StopWorkers)
+        return nullptr;
+      if (Task *T = Inject.pop())
+        return T;
+      if (!Timers.empty() &&
+          (AbortFlag.load(std::memory_order_relaxed) ||
+           ShutdownSeen.load(std::memory_order_relaxed) ||
+           Timers.front().first <= Clock::now())) {
+        std::pop_heap(Timers.begin(), Timers.end(), timerAfter);
+        Task *T = Timers.back().second;
+        Timers.pop_back();
+        return T;
+      }
+    }
+    // Own queue, then steal from peers in this worker's victim order.
+    {
+      std::lock_guard<std::mutex> Lock(Me.QM);
+      if (Task *T = Me.Q.pop())
+        return T;
+    }
+    for (uint32_t V : Me.Victims) {
+      Worker &Victim = Workers[V];
+      std::lock_guard<std::mutex> Lock(Victim.QM);
+      if (Task *T = Victim.Q.steal()) {
+        ++Me.Steals;
+        return T;
+      }
+    }
+    // Idle: sleep until the next timer deadline, an unpark, or stop —
+    // with a short poll as the safety net for work that is only
+    // stealable (peer queues are not covered by WorkCV).
+    {
+      std::unique_lock<std::mutex> Lock(SchedM);
+      if (StopWorkers)
+        return nullptr;
+      if (!Inject.empty())
+        continue;
+      Clock::time_point Deadline =
+          Clock::now() + std::chrono::milliseconds(2);
+      if (!Timers.empty())
+        Deadline = std::min(Deadline, Timers.front().first);
+      WorkCV.wait_until(Lock, Deadline);
+    }
+  }
+}
+
+void TaskScheduler::resume(size_t W, Task &T) {
+  Worker &Me = Workers[W];
+  FaultInjector *Faults = Opts.Faults;
+
+  if (!T.Started) {
+    T.Started = true;
+    T.TraceRunStartNs = Me.TB ? Me.TB->now() : 0;
+  }
+
+  if (T.ResumeFromPark) {
+    T.ResumeFromPark = false;
+    // The chan.recv span of a parked receive closes here at the wake,
+    // covering the whole blocked time. The start was stamped by the
+    // parking worker; stamps are session-origin-relative, so the
+    // cross-buffer duration is consistent.
+    if (Me.TB)
+      Me.TB->record("chan.recv", "channel", 'X', T.T.TraceBlockStartNs,
+                    Me.TB->now() - T.T.TraceBlockStartNs);
+    switch (T.WakeResult) {
+    case RecvResult::Ok:
+      ++T.AttemptStats.Recvs;
+      T.T.ControlValue = T.Handoff;
+      T.Handoff = Value();
+      T.T.HasValue = true;
+      T.T.Status = ThreadStatus::Runnable;
+      break;
+    case RecvResult::Closed:
+    case RecvResult::Aborted:
+      // Closed: every possible sender finished — a clean stop, the task
+      // is cancelled mid-recv with a unit result. Aborted: another
+      // thread failed or the watchdog fired; the originating diagnostic
+      // is reported, not this task.
+      T.R.Result = Value::unitVal();
+      T.R.Out = ThreadRunOutcome::Cancelled;
+      finish(W, T);
+      return;
+    }
+  }
+
+  if (T.NeedsReset) {
+    // A restart attempt that wakes into a closing run stops cleanly
+    // instead of retrying against closed channels (which would read as a
+    // fresh fault, not the cancellation it really is).
+    if (T.Attempt > 0 &&
+        (AbortFlag.load(std::memory_order_relaxed) ||
+         Channels.state() != ChannelState::Open)) {
+      T.R.Result = Value::unitVal();
+      T.R.Error.clear();
+      T.R.Fault.reset();
+      T.R.Out = ThreadRunOutcome::Cancelled;
+      finish(W, T);
+      return;
+    }
+    // Fresh configuration per attempt: the dead attempt's partial
+    // reservation is simply dropped — region isolation guarantees no
+    // peer could see it.
+    T.T = ThreadState();
+    T.T.Id = static_cast<ThreadId>(T.Index);
+    for (size_t A = 0; A < T.E->Args.size(); ++A)
+      T.T.Env.emplace_back(T.Fn->Params[A].Name, T.E->Args[A]);
+    T.T.ControlExpr = T.Fn->Body.get();
+    // Pre-size the `if disconnected` scratch to the graphs built before
+    // run(), keeping growth out of the measured region.
+    T.T.Scratch.reserve(TheHeap.size());
+    T.AttemptStats = MachineStats();
+    T.R.Fault.reset();
+    T.R.Error.clear();
+    T.R.Out = ThreadRunOutcome::Cancelled;
+    T.NeedsReset = false;
+    // thread.start fault point: the attempt dies before its first step
+    // (always effect-free, so always retryable).
+    if (Faults && Faults->shouldFire(FaultPoint::ThreadStart)) {
+      T.R.Fault = RuntimeFault{RuntimeFaultKind::Injected, Loc::invalid(),
+                               static_cast<uint32_t>(FaultPoint::ThreadStart),
+                               static_cast<uint32_t>(T.Index)};
+      T.R.Error = T.R.Fault->render();
+      T.R.Out = ThreadRunOutcome::Errored;
+      supervise(W, T);
+      return;
+    }
+  }
+
+  // The task records into the current worker's buffer for this quantum;
+  // exactly one worker runs a task at a time, so the single-writer rule
+  // holds even as the task migrates.
+  T.T.Trace = Me.TB;
+  InterpServices Services = services(T);
+
+  for (uint32_t Step = 0; Step < Opts.PreemptQuantum; ++Step) {
+    if (AbortFlag.load(std::memory_order_relaxed)) {
+      // Hard abort: stop at the step boundary; the outcome stays
+      // Cancelled (set at attempt start) — the originating error is
+      // reported by whoever aborted.
+      finish(W, T);
+      return;
+    }
+    // sched.step fault point: the scheduler's per-step pulse.
+    if (Faults && Faults->shouldFire(FaultPoint::SchedStep)) {
+      T.R.Fault = RuntimeFault{RuntimeFaultKind::Injected, Loc::invalid(),
+                               static_cast<uint32_t>(FaultPoint::SchedStep),
+                               static_cast<uint32_t>(T.Index)};
+      T.R.Error = T.R.Fault->render();
+      T.R.Out = ThreadRunOutcome::Errored;
+      supervise(W, T);
+      return;
+    }
+    switch (stepThread(T.T, Services)) {
+    case StepOutcome::Progress:
+      break;
+    case StepOutcome::Finished:
+      T.R.Result = T.T.Result;
+      T.R.Out = ThreadRunOutcome::Finished;
+      finish(W, T);
+      return;
+    case StepOutcome::BlockedSend: {
+      // Sends never block (channels are unbounded; a parked receiver
+      // gets the value handed to it directly).
+      TraceSpan Span(T.T.Trace, "chan.send", "channel");
+      Channels.channelFor(T.T.CommType).send(T.T.PendingSend);
+      ++T.AttemptStats.Sends;
+      T.T.PendingSend = Value();
+      T.T.ControlValue = Value::unitVal();
+      T.T.HasValue = true;
+      T.T.Status = ThreadStatus::Runnable;
+      break;
+    }
+    case StepOutcome::BlockedRecv: {
+      // Park protocol. Everything the resuming worker needs — the
+      // blocked-span start and the consume-wake flag — is written
+      // *before* recvOrPark publishes the waiter: the moment it does, a
+      // racing sender can hand off and another worker can resume the
+      // task.
+      uint64_t RecvStart = Me.TB ? Me.TB->now() : 0;
+      T.T.TraceBlockStartNs = RecvStart;
+      T.ResumeFromPark = true;
+      Value Received;
+      RecvAttempt A =
+          Channels.channelFor(T.T.CommType).recvOrPark(Received, T);
+      if (A == RecvAttempt::Parked) {
+        ++Me.Parks;
+        // Tell the set this task is no longer a potential sender. Runs
+        // after the waiter is queued, so a racing wake's +1 can only
+        // overcount — delaying quiescence, never firing it early. The
+        // task may already be running elsewhere: touch nothing of it
+        // from here on.
+        Channels.taskParked();
+        return;
+      }
+      T.ResumeFromPark = false;
+      if (Me.TB)
+        Me.TB->record("chan.recv", "channel", 'X', RecvStart,
+                      Me.TB->now() - RecvStart);
+      if (A == RecvAttempt::Got) {
+        ++T.AttemptStats.Recvs;
+        T.T.ControlValue = Received;
+        T.T.HasValue = true;
+        T.T.Status = ThreadStatus::Runnable;
+        break;
+      }
+      // Closed / Aborted: clean stop (see the parked-wake case above).
+      T.R.Result = Value::unitVal();
+      T.R.Out = ThreadRunOutcome::Cancelled;
+      finish(W, T);
+      return;
+    }
+    case StepOutcome::Stuck:
+      T.R.Error = T.T.Error;
+      T.R.Fault = T.T.Fault;
+      T.R.Out = ThreadRunOutcome::Errored;
+      supervise(W, T);
+      return;
+    }
+  }
+
+  // Quantum exhausted: preempt back to the local queue so a spinner
+  // cannot monopolize this worker (the global-first order in nextTask
+  // then guarantees unparked tasks and timers get a turn).
+  {
+    std::lock_guard<std::mutex> Lock(Me.QM);
+    Me.Q.push(&T);
+  }
+  WorkCV.notify_one();
+}
+
+void TaskScheduler::supervise(size_t W, Task &T) {
+  Worker &Me = Workers[W];
+  // Restart only a *fault* death (typed — injected or a runtime trap;
+  // plain program errors stay fail-fast) whose attempt externalized
+  // nothing: one send or recv and replaying could duplicate effects.
+  bool Retryable = T.R.Fault.has_value() && T.AttemptStats.Sends == 0 &&
+                   T.AttemptStats.Recvs == 0 &&
+                   !AbortFlag.load(std::memory_order_relaxed);
+  if (Retryable && T.Attempt < Opts.MaxRestarts) {
+    T.Lifetime.merge(T.AttemptStats);
+    T.AttemptStats = MachineStats();
+    uint64_t Sleep = jitteredRestartMillis(
+        Opts.RestartBackoffMillis, Opts.RestartBackoffCapMillis,
+        Opts.RestartSeed, T.Index, T.Attempt);
+    T.R.BackoffMillis += Sleep;
+    ++T.R.Restarts;
+    if (Me.TB)
+      Me.TB->instant("thread.restart", "thread", "attempt", T.Attempt + 1);
+    ++T.Attempt;
+    T.NeedsReset = true;
+    if (Sleep == 0) {
+      std::lock_guard<std::mutex> Lock(Me.QM);
+      Me.Q.push(&T);
+      return;
+    }
+    // Backoff without blocking a worker: park the task on the timer
+    // heap. It keeps its active-sender count, so quiescence cannot fire
+    // mid-recovery and cancel its waiting peers.
+    {
+      std::lock_guard<std::mutex> Lock(SchedM);
+      Timers.emplace_back(Clock::now() + std::chrono::milliseconds(Sleep),
+                          &T);
+      std::push_heap(Timers.begin(), Timers.end(), timerAfter);
+    }
+    WorkCV.notify_all(); // idle workers re-arm their wait deadline
+    return;
+  }
+
+  // Escalation: the existing quiescence abort — fail the run and wake
+  // every blocked receiver (parked tasks get RecvResult::Aborted).
+  if (T.R.Fault) {
+    T.R.Escalated = true;
+    if (Me.TB)
+      Me.TB->instant("fault.escalated", "fault", "attempts", T.Attempt + 1);
+  }
+  AbortFlag.store(true, std::memory_order_relaxed);
+  Channels.abortAll();
+  finish(W, T);
+}
+
+void TaskScheduler::finish(size_t W, Task &T) {
+  Worker &Me = Workers[W];
+  T.Lifetime.merge(T.AttemptStats);
+  T.AttemptStats = MachineStats();
+  if (Me.TB) {
+    const char *OutName = T.R.Out == ThreadRunOutcome::Finished ? "finished"
+                          : T.R.Out == ThreadRunOutcome::Errored
+                              ? "errored"
+                              : "cancelled";
+    Me.TB->instant(OutName, "thread");
+    Me.TB->record("thread.run", "thread", 'X', T.TraceRunStartNs,
+                  Me.TB->now() - T.TraceRunStartNs, "steps",
+                  T.Lifetime.Steps);
+  }
+  T.R.Stats = T.Lifetime;
+  Channels.threadFinished();
+  bool AllDone = false;
+  {
+    std::lock_guard<std::mutex> Lock(SchedM);
+    ++DoneCount;
+    if (DoneCount == Tasks.size()) {
+      StopWorkers = true;
+      AllDone = true;
+    }
+  }
+  if (AllDone) {
+    WorkCV.notify_all();
+    DoneCV.notify_all();
+  }
+}
+
+std::vector<ThreadRunResult>
+TaskScheduler::run(const std::vector<SpawnEntry> &Work, RunStats &Stats) {
+  Stats.TasksSpawned = Work.size();
+  if (Work.empty())
+    return {};
+
+  size_t HW = std::thread::hardware_concurrency();
+  if (!HW)
+    HW = 1;
+  size_t N = Opts.NumWorkers ? Opts.NumWorkers
+                             : std::min<size_t>(2 * HW, Work.size());
+  if (!N)
+    N = 1;
+
+  // Task storage is preallocated and never moves: channels and queues
+  // hold raw pointers into it for the whole run.
+  Tasks.resize(Work.size());
+  for (size_t I = 0; I < Work.size(); ++I) {
+    Task &T = Tasks[I];
+    T.Index = I;
+    T.E = &Work[I];
+    T.Fn = Checked.Prog->findFunction(Work[I].Fn);
+    assert(T.Fn && "spawning an unknown function");
+    assert(Work[I].Args.size() == T.Fn->Params.size() && "spawn arity");
+    (void)T;
+  }
+  Inject.init(Work.size());
+  Timers.reserve(Work.size());
+  for (size_t WI = 0; WI < N; ++WI) {
+    Workers.emplace_back();
+    Workers.back().Q.init(Work.size());
+  }
+
+  // Seeded placement and steal order: seed 0 = round-robin placement and
+  // sequential victim order; nonzero seeds permute both, deterministically.
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    size_t WI = Opts.SchedSeed == 0 ? I % N
+                                    : mix64(Opts.SchedSeed ^ (0xA5A5ull + I)) % N;
+    Workers[WI].Q.push(&Tasks[I]); // pre-start: no worker is running yet
+  }
+  for (size_t WI = 0; WI < N; ++WI) {
+    std::vector<uint32_t> &V = Workers[WI].Victims;
+    for (size_t O = 1; O < N; ++O)
+      V.push_back(static_cast<uint32_t>((WI + O) % N));
+    if (Opts.SchedSeed != 0) {
+      uint64_t R = Opts.SchedSeed ^ (WI * 0x632BE59Bull + 1);
+      for (size_t K = V.size(); K > 1; --K) {
+        R = mix64(R);
+        std::swap(V[K - 1], V[R % K]);
+      }
+    }
+  }
+
+  Channels.registerThreads(Work.size());
+  Channels.setUnparkSink(this);
+  Channels.setShutdownHook([this] {
+    // Fired under the set mutex on every Open->Closed/Aborted
+    // transition. Expedite pending backoff timers and wake everyone so
+    // shutdown is observed promptly (set -> sched lock direction).
+    ShutdownSeen.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(SchedM);
+    WorkCV.notify_all();
+    DoneCV.notify_all();
+  });
+
+  // Tracing: register every buffer up front (worker W -> tid W+1) so no
+  // worker touches the session mutex after it starts. The executor's
+  // control buffer is tid 0; the channel set's lifecycle buffer sits
+  // past the workers.
+  TraceBuffer *TraceCtl = nullptr;
+  if (Opts.Trace) {
+    TraceCtl = &Opts.Trace->registerThread(0, "executor");
+    for (size_t WI = 0; WI < N; ++WI)
+      Workers[WI].TB =
+          &Opts.Trace->registerThread(static_cast<uint32_t>(WI + 1),
+                                      "worker");
+    Channels.setTrace(
+        &Opts.Trace->registerThread(static_cast<uint32_t>(N + 1),
+                                    "channels"));
+  }
+  Stats.Ctl = TraceCtl;
+  Stats.ExecStartNs = TraceCtl ? TraceCtl->now() : 0;
+
+  for (size_t WI = 0; WI < N; ++WI) {
+    Worker &Wk = Workers[WI];
+    Wk.Thread = std::thread([this, WI] { workerLoop(WI); });
+  }
+
+  // Completion / watchdog wait — the same two-stage escalation as the
+  // OS-thread mode. The scheduler mutex is released around the channel
+  // shutdown calls (the set mutex must always be taken first).
+  {
+    std::unique_lock<std::mutex> Lock(SchedM);
+    auto AllDone = [&] { return DoneCount == Tasks.size(); };
+    if (Opts.WatchdogMillis > 0) {
+      if (!DoneCV.wait_for(Lock,
+                           std::chrono::milliseconds(Opts.WatchdogMillis),
+                           AllDone)) {
+        Stats.WatchdogFired = true;
+        if (TraceCtl)
+          TraceCtl->instant("watchdog.fired", "executor", "budget_ms",
+                            Opts.WatchdogMillis);
+        // Stage 1, soft cancel: close the channels cleanly so parked
+        // receivers drain what is buffered and stop as cancelled, and
+        // give the run a grace period to quiesce on its own.
+        bool Quiesced = false;
+        if (Opts.WatchdogGraceMillis > 0) {
+          if (TraceCtl)
+            TraceCtl->instant("watchdog.soft_cancel", "executor",
+                              "grace_ms", Opts.WatchdogGraceMillis);
+          Lock.unlock();
+          Channels.closeAll();
+          Lock.lock();
+          Quiesced = DoneCV.wait_for(
+              Lock, std::chrono::milliseconds(Opts.WatchdogGraceMillis),
+              AllDone);
+        }
+        // Stage 2, hard abort: spinners ignore the soft cancel; stop
+        // them at the next step boundary and wake everyone.
+        if (!Quiesced) {
+          if (TraceCtl)
+            TraceCtl->instant("watchdog.hard_abort", "executor");
+          AbortFlag.store(true, std::memory_order_relaxed);
+          Lock.unlock();
+          Channels.abortAll();
+          Lock.lock();
+          DoneCV.wait(Lock, AllDone);
+        }
+      }
+    } else {
+      DoneCV.wait(Lock, AllDone);
+    }
+  }
+  for (size_t WI = 0; WI < N; ++WI)
+    Workers[WI].Thread.join();
+
+  // Every task is finished, so no waiter or timer can remain; detach the
+  // callbacks before this (stack-local to the caller) object dies.
+  Channels.setUnparkSink(nullptr);
+  Channels.setShutdownHook(nullptr);
+
+  for (size_t WI = 0; WI < N; ++WI) {
+    Stats.Steals += Workers[WI].Steals;
+    Stats.Parks += Workers[WI].Parks;
+  }
+  std::vector<ThreadRunResult> Results;
+  Results.reserve(Tasks.size());
+  for (Task &T : Tasks)
+    Results.push_back(std::move(T.R));
+  return Results;
+}

@@ -1,0 +1,219 @@
+//===- concurrency/TaskScheduler.h - M:N work-stealing scheduler *- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The M:N green-thread engine behind ParallelExec's default (task)
+/// mode: language threads are resumable tasks — the small-step
+/// interpreter (runtime/Interp.h) already yields at step boundaries, so
+/// a task is just a ThreadState plus supervision bookkeeping — scheduled
+/// onto a fixed pool of OS workers. Each worker owns a run queue;
+/// work is taken own-queue first and stolen from peers when empty, with
+/// a global inject queue for unparked tasks and a timer heap for
+/// supervision backoff. Channel recv parks the *task* (an intrusive
+/// ChannelWaiter — no allocation) instead of blocking an OS thread;
+/// send hands values directly to parked waiters and unparks them.
+///
+/// Everything ParallelExec proved on OS threads is re-proven here with
+/// the same observable surface: the quiescence shutdown and two-stage
+/// watchdog, the fault-injection points (`thread.start`, `sched.step`,
+/// plus the interpreter's instrumented sites), supervised restart with
+/// saturating backoff (Backoff.h), the trace event vocabulary
+/// (`thread.run`, `chan.send`, `chan.recv`, `thread.restart`,
+/// `fault.escalated`, `watchdog.*`), and the RuntimeMetrics counters —
+/// extended with `tasks_spawned`, `steals`, and `parks`.
+///
+/// Scheduling is seeded (`SchedSeed`): seed 0 keeps round-robin initial
+/// placement and sequential steal order; a nonzero seed permutes both
+/// deterministically so property sweeps explore distinct schedules
+/// reproducibly. docs/SCHEDULER.md documents task states, the parking
+/// protocol, the lock order, and the determinism knobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_CONCURRENCY_TASKSCHEDULER_H
+#define FEARLESS_CONCURRENCY_TASKSCHEDULER_H
+
+#include "concurrency/ParallelExec.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fearless {
+
+/// Terminal state of one language thread, shared by both executor modes.
+enum class ThreadRunOutcome { Cancelled, Finished, Errored };
+
+/// Per-language-thread result record produced by both engines and folded
+/// into RuntimeMetrics and the run's results by ParallelExec::run.
+struct ThreadRunResult {
+  Value Result;
+  std::string Error;
+  ThreadRunOutcome Out = ThreadRunOutcome::Cancelled;
+  MachineStats Stats;
+  /// Structured fault of the final attempt, when it died to one.
+  std::optional<RuntimeFault> Fault;
+  /// Supervision bookkeeping (merged into RuntimeMetrics at join).
+  uint32_t Restarts = 0;
+  uint64_t BackoffMillis = 0;
+  bool Escalated = false;
+};
+
+/// Runs a batch of language threads as green tasks on a fixed worker
+/// pool. Single-use: one run() per instance (ParallelExec constructs one
+/// per run and enforces its own single-use contract on top).
+class TaskScheduler final : public TaskUnparkSink {
+public:
+  TaskScheduler(const CheckedProgram &Checked, Heap &TheHeap,
+                ChannelSet &Channels, const ParallelExecOptions &Opts);
+
+  /// Scheduler-level counters of one run.
+  struct RunStats {
+    uint64_t TasksSpawned = 0;
+    uint64_t Steals = 0;
+    uint64_t Parks = 0;
+    bool WatchdogFired = false;
+    /// The executor control buffer (tid 0) and the run's start stamp on
+    /// it, handed back so ParallelExec can close the exec.run span.
+    TraceBuffer *Ctl = nullptr;
+    uint64_t ExecStartNs = 0;
+  };
+
+  /// Runs every entry to completion (finished, cancelled, or errored)
+  /// and returns one result record per entry, in spawn order.
+  std::vector<ThreadRunResult> run(const std::vector<SpawnEntry> &Work,
+                                   RunStats &Stats);
+
+  /// TaskUnparkSink: a parked task became runnable (value handoff or
+  /// channel closure). Called with the channel-set mutex held; only
+  /// enqueues — the task runs later on a worker.
+  void unpark(ChannelWaiter &W) override;
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One resumable language thread. Derives from ChannelWaiter so
+  /// parking on a channel is intrusive: the channel queues this very
+  /// object, and unpark casts back. All fields are owned by whichever
+  /// worker currently runs the task (ownership transfers through the
+  /// run queues' mutexes).
+  struct Task : ChannelWaiter {
+    ThreadState T;
+    size_t Index = 0;
+    const SpawnEntry *E = nullptr;
+    const FnDecl *Fn = nullptr;
+    /// Counters of the in-flight attempt; folded into Lifetime when the
+    /// attempt ends. The supervisor reads it to decide restartability
+    /// (an attempt that externalized a send/recv must not be replayed).
+    MachineStats AttemptStats;
+    MachineStats Lifetime;
+    uint32_t Attempt = 0;
+    ThreadRunResult R;
+    /// Build a fresh ThreadState before the next step (first run or
+    /// post-restart).
+    bool NeedsReset = true;
+    /// The next resume consumes WakeResult/Handoff (the task was parked
+    /// on a channel). Set *before* the waiter is published.
+    bool ResumeFromPark = false;
+    bool Started = false;
+    uint64_t TraceRunStartNs = 0;
+  };
+
+  /// Fixed-capacity FIFO ring of task pointers. Capacity is the total
+  /// task count, so pushes never allocate or overflow; synchronization
+  /// is the owner's external mutex.
+  struct TaskRing {
+    std::vector<Task *> Buf;
+    size_t Head = 0, Count = 0;
+
+    void init(size_t Capacity) { Buf.assign(Capacity ? Capacity : 1,
+                                            nullptr); }
+    bool empty() const { return Count == 0; }
+    void push(Task *T) {
+      Buf[(Head + Count) % Buf.size()] = T;
+      ++Count;
+    }
+    Task *pop() {
+      if (!Count)
+        return nullptr;
+      Task *T = Buf[Head];
+      Head = (Head + 1) % Buf.size();
+      --Count;
+      return T;
+    }
+    /// Takes the most recently pushed task (the opposite end from the
+    /// owner's pop) — classic steal-from-the-back.
+    Task *steal() {
+      if (!Count)
+        return nullptr;
+      --Count;
+      return Buf[(Head + Count) % Buf.size()];
+    }
+  };
+
+  struct Worker {
+    std::mutex QM;
+    TaskRing Q; ///< Guarded by QM.
+    TraceBuffer *TB = nullptr;
+    uint64_t Steals = 0;
+    uint64_t Parks = 0;
+    /// Steal order over the other workers (seeded permutation).
+    std::vector<uint32_t> Victims;
+    std::thread Thread;
+  };
+
+  static bool timerAfter(const std::pair<Clock::time_point, Task *> &A,
+                         const std::pair<Clock::time_point, Task *> &B) {
+    return A.first > B.first;
+  }
+
+  void workerLoop(size_t W);
+  Task *nextTask(size_t W);
+  void resume(size_t W, Task &T);
+  /// Attempt died to a fault or error: restart (immediately or via the
+  /// timer heap) or escalate to a run abort.
+  void supervise(size_t W, Task &T);
+  void finish(size_t W, Task &T);
+  InterpServices services(Task &T);
+
+  const CheckedProgram &Checked;
+  Heap &TheHeap;
+  ChannelSet &Channels;
+  const ParallelExecOptions &Opts;
+
+  std::vector<Task> Tasks;
+  std::deque<Worker> Workers; ///< Deque: workers are never moved.
+
+  /// Global scheduler mutex: inject queue, timer heap, done counter,
+  /// worker sleep/wake. Innermost in the global lock order (after the
+  /// channel-set and channel mutexes) — code holding it never calls
+  /// back into the channel layer.
+  std::mutex SchedM;
+  std::condition_variable WorkCV; ///< Workers idle-wait here.
+  std::condition_variable DoneCV; ///< run() waits for completion here.
+  TaskRing Inject;                ///< Unparked tasks; guarded by SchedM.
+  /// Min-heap of (deadline, task) for supervision backoff; guarded by
+  /// SchedM. A backoff task stays a potential sender (no taskParked), so
+  /// quiescence cannot fire mid-recovery.
+  std::vector<std::pair<Clock::time_point, Task *>> Timers;
+  size_t DoneCount = 0;   ///< Guarded by SchedM.
+  bool StopWorkers = false; ///< Guarded by SchedM.
+  std::atomic<bool> AbortFlag{false};
+  /// Set by the channel set's shutdown hook: expedites pending backoff
+  /// timers so a restarting task observes closure promptly instead of
+  /// sleeping into a dead run.
+  std::atomic<bool> ShutdownSeen{false};
+};
+
+} // namespace fearless
+
+#endif // FEARLESS_CONCURRENCY_TASKSCHEDULER_H

@@ -53,6 +53,9 @@ void RuntimeMetrics::forEach(
   Fn("heap_objects", HeapObjects);
   Fn("wall_micros", WallMicros);
   Fn("watchdog_fired", WatchdogFired);
+  Fn("tasks_spawned", TasksSpawned);
+  Fn("steals", Steals);
+  Fn("parks", Parks);
   Fn("faults_injected", FaultsInjected);
   Fn("threads_restarted", ThreadsRestarted);
   Fn("restart_backoff_millis", RestartBackoffMillis);

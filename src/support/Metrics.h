@@ -74,6 +74,16 @@ struct RuntimeMetrics {
   /// 1 when the watchdog had to abort the run.
   uint64_t WatchdogFired = 0;
 
+  // Task-scheduler counters (M:N executor only; zero under the legacy
+  // thread-per-spawn mode and the deterministic machine).
+  /// Language threads admitted to the task scheduler as green threads.
+  uint64_t TasksSpawned = 0;
+  /// Tasks taken from another worker's run queue.
+  uint64_t Steals = 0;
+  /// Times a task parked on a channel waiting for a value (instead of
+  /// blocking an OS thread in recv).
+  uint64_t Parks = 0;
+
   // Robustness counters (fault injection + supervision).
   /// Faults fired by the deterministic injector during the run.
   uint64_t FaultsInjected = 0;

@@ -5,17 +5,18 @@
 #
 #===----------------------------------------------------------------------===#
 #
-# Reproducible benchmark baseline pipeline: builds the seven bench_*
+# Reproducible benchmark baseline pipeline: builds the eight bench_*
 # binaries, runs each with --benchmark_out_format=json (counters included,
 # e.g. the RuntimeMetrics counters exported by bench_concurrency, the
 # allocs_per_iter / losing_side_visited counters of bench_ifdisconnected,
-# and the tracing-overhead counters of bench_trace), and merges the
+# the tracing-overhead counters of bench_trace, and the tasks_spawned /
+# steals / parks counters of bench_scheduler), and merges the
 # per-binary JSON into one BENCH_*.json at the repo root. Compare two
 # such files with tools/bench_compare.py.
 #
 # Usage: tools/bench.sh [options]
 #   -B DIR        build directory                (default: <repo>/build)
-#   -o FILE       merged output file             (default: <repo>/BENCH_pr5.json)
+#   -o FILE       merged output file             (default: <repo>/BENCH_pr6.json)
 #   -t SECONDS    --benchmark_min_time per bench (default: 0.05)
 #   -f REGEX      --benchmark_filter passed through
 #   --smoke       CI smoke mode: min_time 0.01, output under the build
@@ -33,7 +34,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 BUILD="$ROOT/build"
-OUT="$ROOT/BENCH_pr5.json"
+OUT="$ROOT/BENCH_pr6.json"
 MIN_TIME="0.05"
 FILTER=""
 SMOKE=0
@@ -55,7 +56,7 @@ if [[ "$SMOKE" -eq 1 ]]; then
 fi
 
 BENCHES=(bench_table1 bench_checker bench_ifdisconnected bench_runtime
-         bench_concurrency bench_trace bench_faults)
+         bench_concurrency bench_trace bench_faults bench_scheduler)
 
 echo "==> [bench] build (${BUILD})"
 cmake -B "$BUILD" -S "$ROOT" >/dev/null

@@ -9,14 +9,19 @@ Checks, failing with a nonzero exit on the first class of drift found:
     docs/OBSERVABILITY.md's counter glossary.
  2. The reverse: every counter the glossary documents still exists in
     Metrics.cpp (no ghost rows for deleted counters).
- 3. Every `--flag` shown on a line mentioning `fearlessc` in README.md or
-    docs/OBSERVABILITY.md is actually accepted by tools/fearlessc.cpp
-    (stale-flag detection — the drift this tool exists to catch).
+ 3. Every `--flag` shown on a line mentioning `fearlessc` in README.md,
+    docs/OBSERVABILITY.md, or docs/SCHEDULER.md is actually accepted by
+    tools/fearlessc.cpp (stale-flag detection — the drift this tool
+    exists to catch).
  4. Every fault point named in src/support/FaultInjector.cpp's PointNames
     array has a row in docs/OBSERVABILITY.md's fault-point table, and the
     reverse (the `--faults` spec vocabulary stays documented).
  5. fearlessc accepts `--faults` (the flag the robustness docs are
     written around).
+ 6. fearlessc accepts `--workers` and `--sched-seed` (the flags the
+    scheduler docs are written around). The scheduler's counters
+    (tasks_spawned, steals, parks) are covered by checks 1-2 like any
+    other RuntimeMetrics registration.
 
 Run from anywhere: paths are resolved relative to the repo root. Wired
 into tools/ci.sh; `--self-test` exercises the extraction logic against
@@ -32,6 +37,7 @@ ROOT = Path(__file__).resolve().parent.parent
 
 METRICS_CPP = ROOT / "src" / "support" / "Metrics.cpp"
 OBSERVABILITY_MD = ROOT / "docs" / "OBSERVABILITY.md"
+SCHEDULER_MD = ROOT / "docs" / "SCHEDULER.md"
 README_MD = ROOT / "README.md"
 FEARLESSC_CPP = ROOT / "tools" / "fearlessc.cpp"
 FAULTINJECTOR_CPP = ROOT / "src" / "support" / "FaultInjector.cpp"
@@ -121,8 +127,11 @@ def self_test() -> int:
     assert extract_documented_counters(doc) == {"steps", "wall_micros"}
     assert extract_documented_counters("no glossary here") == set()
 
-    cli = 'if (!std::strcmp(argv[I], "--trace")) {} // --metrics\n//---\n'
-    assert extract_accepted_flags(cli) == {"trace", "metrics"}
+    cli = (
+        'if (!std::strcmp(argv[I], "--trace")) {} // --metrics\n'
+        '"--sched-seed"\n//---\n'
+    )
+    assert extract_accepted_flags(cli) == {"trace", "metrics", "sched-seed"}
 
     lines = "run fearlessc with --trace out.json\nunrelated --flag here\n"
     assert extract_documented_flags(lines) == [(1, "trace")]
@@ -168,8 +177,8 @@ def main() -> int:
     if args.self_test:
         return self_test()
 
-    for path in (METRICS_CPP, OBSERVABILITY_MD, README_MD, FEARLESSC_CPP,
-                 FAULTINJECTOR_CPP):
+    for path in (METRICS_CPP, OBSERVABILITY_MD, SCHEDULER_MD, README_MD,
+                 FEARLESSC_CPP, FAULTINJECTOR_CPP):
         if not path.exists():
             print(f"check_docs: missing {path.relative_to(ROOT)}",
                   file=sys.stderr)
@@ -203,6 +212,7 @@ def main() -> int:
     for doc_path, text in (
         (README_MD, README_MD.read_text()),
         (OBSERVABILITY_MD, observability),
+        (SCHEDULER_MD, SCHEDULER_MD.read_text()),
     ):
         for line, flag in extract_documented_flags(text):
             if flag not in accepted:
@@ -247,6 +257,15 @@ def main() -> int:
             file=sys.stderr,
         )
         failures += 1
+
+    for flag in ("workers", "sched-seed"):
+        if flag not in accepted:
+            print(
+                f"check_docs: fearlessc does not accept --{flag}, but "
+                f"the scheduler docs depend on it",
+                file=sys.stderr,
+            )
+            failures += 1
 
     if failures:
         print(f"check_docs: {failures} drift issue(s)", file=sys.stderr)

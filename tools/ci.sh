@@ -122,6 +122,21 @@ EOF
     --faults 'heap.alloc=nth:3,seed=7'
 }
 
+# Scheduler smoke: bench_scheduler's FEARLESS_SCHED_SMOKE hook runs the
+# 100,000-language-thread token ring to completion on the fixed default
+# worker pool and checks the ping-pong park/unpark path allocates nothing
+# in steady state. Running it under the TSan pass as well stresses the
+# work-stealing + parking protocol with real data-race detection at full
+# acceptance scale.
+run_sched_smoke() {
+  local name="$1" dir="$2"
+  echo "==> [$name] scheduler smoke (100k-task ring + allocs_per_iter=0)"
+  FEARLESS_SCHED_SMOKE=100000 \
+    "$dir/bench/bench_scheduler" --benchmark_filter=NONE 2>&1 |
+    grep -v "Failed to match any benchmarks" |
+    sed 's/^/    /'
+}
+
 # Chaos smoke: bench_concurrency's FEARLESS_FAULTS hook runs the E7
 # pipeline under a seeded fault plan with supervision on, and fails if
 # the run hangs (watchdog), crashes, or a recovered run diverges from
@@ -157,11 +172,13 @@ run_pass "default" "$ROOT/build"
 run_analyze "default" "$ROOT/build"
 run_trace_smoke "default" "$ROOT/build"
 run_cli_smoke "default" "$ROOT/build"
+run_sched_smoke "default" "$ROOT/build"
 run_chaos_smoke "default" "$ROOT/build"
 echo "==> [default] bench smoke"
 "$ROOT/tools/bench.sh" --smoke -B "$ROOT/build"
 run_pass "tsan" "$ROOT/build-tsan" -DFEARLESS_SANITIZE=thread
 run_analyze "tsan" "$ROOT/build-tsan"
+run_sched_smoke "tsan" "$ROOT/build-tsan"
 run_chaos_smoke "tsan" "$ROOT/build-tsan"
 
 # Compile-out pass: the tracing layer must build with FEARLESS_TRACE=OFF

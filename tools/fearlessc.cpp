@@ -33,6 +33,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/StaticDisconnect.h"
+#include "concurrency/ParallelExec.h"
 #include "driver/Driver.h"
 #include "runtime/Machine.h"
 #include "support/FaultInjector.h"
@@ -86,7 +87,10 @@ int usage() {
       "  dot     <file> <fn>           derivation as a Graphviz digraph\n"
       "  sample  <sll|dll|rbtree|message|trie|extras>  print a sample\n"
       "options: --no-oracle --seed N --no-checks --no-elide --stats "
-      "--metrics --trace FILE --faults SPEC\n"
+      "--metrics --trace FILE --faults SPEC --workers N --sched-seed N\n"
+      "  --workers N     run on the parallel executor's M:N task\n"
+      "                  scheduler with an N-worker pool (0 = auto)\n"
+      "  --sched-seed N  scheduling-decision seed for --workers runs\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 parse error, 4 check "
       "error, 5 runtime fault\n");
   return ExitUsage;
@@ -115,6 +119,12 @@ struct Options {
   std::string FaultSpec;
   bool FaultSpecSet = false;
   uint64_t Seed = 0;
+  /// --workers: run on ParallelExec's M:N task scheduler instead of the
+  /// deterministic abstract machine. 0 = auto-sized pool.
+  size_t Workers = 0;
+  bool WorkersSet = false;
+  /// --sched-seed: scheduling-decision seed for --workers runs.
+  uint64_t SchedSeed = 0;
 };
 
 Expected<Pipeline> compileFile(const char *Path, const Options &Opts) {
@@ -260,6 +270,39 @@ int cmdRun(const char *Path, const char *Fn,
                  "(FEARLESS_TRACE=OFF); '%s' will hold an empty trace\n",
                  Opts.TracePath.c_str());
 #endif
+  }
+
+  // --workers: hand the entry function to the parallel executor (the
+  // M:N task scheduler; dynamic checks erased, as for any checked
+  // program) instead of the deterministic abstract machine.
+  if (Opts.WorkersSet) {
+    ParallelExecOptions PO;
+    PO.NumWorkers = Opts.Workers;
+    PO.SchedSeed = Opts.SchedSeed;
+    PO.Faults = Faults.get();
+    if (!Opts.TracePath.empty())
+      PO.Trace = &Trace;
+    ParallelExec Exec(P->Checked, PO);
+    Exec.spawn(Entry, std::move(Values));
+    Expected<std::vector<Value>> R = Exec.run();
+    if (!Opts.TracePath.empty()) {
+      std::string TraceError;
+      if (!Trace.writeChromeJson(Opts.TracePath, TraceError)) {
+        std::fprintf(stderr, "fearlessc: %s\n", TraceError.c_str());
+        return ExitError;
+      }
+    }
+    if (!R) {
+      std::fprintf(stderr, "%s\n", R.error().render().c_str());
+      if (Opts.Metrics)
+        std::printf("%s\n", Exec.metrics().toJson().c_str());
+      return Exec.metrics().FaultsEscalated ? ExitRuntimeFault
+                                            : ExitError;
+    }
+    std::printf("%s(...) = %s\n", Fn, toString((*R)[0]).c_str());
+    if (Opts.Metrics)
+      std::printf("%s\n", Exec.metrics().toJson().c_str());
+    return 0;
   }
 
   MachineOptions MO;
@@ -409,6 +452,11 @@ int main(int argc, char **argv) {
       Opts.FaultSpecSet = true;
     } else if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
       Opts.Seed = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--workers") && I + 1 < argc) {
+      Opts.Workers = std::strtoull(argv[++I], nullptr, 10);
+      Opts.WorkersSet = true;
+    } else if (!std::strcmp(argv[I], "--sched-seed") && I + 1 < argc)
+      Opts.SchedSeed = std::strtoull(argv[++I], nullptr, 10);
     else
       Positional.push_back(argv[I]);
   }
