@@ -8,6 +8,7 @@
 
 #include "concurrency/Backoff.h"
 #include "concurrency/TaskScheduler.h"
+#include "vm/Bytecode.h"
 
 #include <atomic>
 #include <cassert>
@@ -57,6 +58,8 @@ finalizeRun(const ParallelExecOptions &Opts, ChannelSet &Channels,
   Metrics.ThreadsSpawned = NumThreads;
   Metrics.WatchdogFired = WatchdogFired ? 1 : 0;
   Metrics.HeapObjects = TheHeap.size();
+  if (Opts.VmCode)
+    Metrics.ChecksErased = Opts.VmCode->ChecksErased;
   Metrics.WallMicros = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - Started)
@@ -229,6 +232,7 @@ ParallelExec::runOsThreads(const std::vector<SpawnEntry> &Work) {
         Services.SendTypes = &Checked.SendTypes;
         Services.CheckReservations = false; // erased: checker proved them
         Services.Faults = Faults;
+        Services.VmCode = Opts.VmCode;
 
         S.Fault.reset();
         S.Error.clear();

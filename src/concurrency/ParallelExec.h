@@ -114,6 +114,12 @@ struct ParallelExecOptions {
   /// language thread) instead of the task scheduler. Kept for
   /// differential testing: both modes must produce identical results.
   bool OsThreads = false;
+  /// When set, threads execute this compiled bytecode (vm/Vm.h) instead
+  /// of tree-walking the AST. Must be lowered from the same
+  /// CheckedProgram and outlive run(). Both executor modes support it;
+  /// the VM's per-thread state lives in the ThreadState, so parking,
+  /// supervision resets, and preemption work unchanged.
+  const vm::CompiledProgram *VmCode = nullptr;
 };
 
 /// One registered entry point (a language thread to run).

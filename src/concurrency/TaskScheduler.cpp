@@ -52,6 +52,7 @@ InterpServices TaskScheduler::services(Task &T) {
   Services.SendTypes = &Checked.SendTypes;
   Services.CheckReservations = false; // erased: checker proved them
   Services.Faults = Opts.Faults;
+  Services.VmCode = Opts.VmCode;
   return Services;
 }
 

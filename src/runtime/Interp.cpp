@@ -7,6 +7,7 @@
 #include "runtime/Interp.h"
 
 #include "runtime/Disconnected.h"
+#include "vm/Vm.h"
 
 #include <cassert>
 
@@ -674,6 +675,8 @@ StepOutcome fearless::stepThread(ThreadState &T,
   // supervision restart, escalation, and diagnostic reporting — the
   // process never dies in release builds.
   try {
+    if (Services.VmCode)
+      return vm::stepThreadVm(T, Services);
     return Stepper(T, Services).step();
   } catch (const RuntimeFaultError &E) {
     RuntimeFault F = E.Fault;

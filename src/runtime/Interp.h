@@ -30,12 +30,18 @@
 #include "support/Trace.h"
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <variant>
 #include <vector>
 
 namespace fearless {
+
+namespace vm {
+struct CompiledProgram;
+struct VmState;
+} // namespace vm
 
 using ThreadId = uint32_t;
 
@@ -170,6 +176,13 @@ struct ThreadState {
   /// When the thread blocked in send/recv, for block→wake wait spans
   /// recorded by the machine at pairing time.
   uint64_t TraceBlockStartNs = 0;
+
+  /// Bytecode-engine execution state (vm/Vm.h), lazily created on the
+  /// first step when InterpServices::VmCode is set. Null under the
+  /// tree-walking interpreter. shared_ptr so ThreadState stays movable
+  /// with VmState incomplete here; a supervision reset (fresh
+  /// ThreadState) drops it naturally.
+  std::shared_ptr<vm::VmState> Vm;
 };
 
 /// Outcome of one small step.
@@ -205,6 +218,11 @@ struct InterpServices {
   /// same discipline as tracing. The injector is shared by every thread
   /// of a run and must outlive it.
   FaultInjector *Faults = nullptr;
+  /// When set, stepThread dispatches to the register-bytecode VM
+  /// (vm/Vm.h) instead of the tree-walking evaluator. The compiled
+  /// program must outlive the run and must have been lowered from the
+  /// same Program as Prog.
+  const vm::CompiledProgram *VmCode = nullptr;
 };
 
 /// Executes one small step of \p T. On StepOutcome::Stuck, T.Error holds

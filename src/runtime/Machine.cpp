@@ -6,6 +6,8 @@
 
 #include "runtime/Machine.h"
 
+#include "vm/Bytecode.h"
+
 #include <cassert>
 
 using namespace fearless;
@@ -169,6 +171,8 @@ RuntimeMetrics Machine::metrics() const {
       ++M.ThreadsErrored;
   }
   M.HeapObjects = TheHeap.size();
+  if (Opts.VmCode)
+    M.ChecksErased = Opts.VmCode->ChecksErased;
   return M;
 }
 
@@ -197,6 +201,7 @@ Expected<MachineSummary> Machine::run(uint64_t Seed) {
   Services.ElideDisconnect = Opts.ElideDisconnect;
   Services.CrossCheckElision = Opts.CrossCheckElision;
   Services.Faults = Opts.Faults;
+  Services.VmCode = Opts.VmCode;
 
   // Fault points the interpreter cannot see: thread.start fires once per
   // started thread (before its first step), sched.step per scheduler

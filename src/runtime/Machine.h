@@ -75,6 +75,12 @@ struct MachineOptions {
   /// here to check I1/I2-style properties at *every* intermediate state.
   std::function<std::optional<std::string>(const Machine &)>
       StepValidator;
+  /// When set, threads execute this compiled bytecode (vm/Vm.h) instead
+  /// of tree-walking the AST. Must be lowered from the same
+  /// CheckedProgram and outlive run(). Note the VM batches instructions,
+  /// so one "step" (MaxSteps, StepValidator, scheduler pulse) covers up
+  /// to a batch of ops.
+  const vm::CompiledProgram *VmCode = nullptr;
 };
 
 /// Result of a completed run.

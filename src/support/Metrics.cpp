@@ -19,6 +19,9 @@ void MachineStats::merge(const MachineStats &O) {
   Sends += O.Sends;
   Recvs += O.Recvs;
   Allocations += O.Allocations;
+  VmInstructions += O.VmInstructions;
+  IcHits += O.IcHits;
+  IcMisses += O.IcMisses;
 }
 
 void RuntimeMetrics::mergeThread(const MachineStats &S) {
@@ -32,6 +35,9 @@ void RuntimeMetrics::mergeThread(const MachineStats &S) {
   DisconnectElided += S.DisconnectElided;
   DisconnectObjectsVisited += S.DisconnectObjectsVisited;
   DisconnectEdgesTraversed += S.DisconnectEdgesTraversed;
+  VmInstructions += S.VmInstructions;
+  IcHits += S.IcHits;
+  IcMisses += S.IcMisses;
 }
 
 void RuntimeMetrics::forEach(
@@ -65,6 +71,10 @@ void RuntimeMetrics::forEach(
   Fn("channel_recvs", ChannelRecvs);
   Fn("channel_peak_depth", ChannelPeakDepth);
   Fn("channel_dropped_values", ChannelDroppedValues);
+  Fn("vm_instructions", VmInstructions);
+  Fn("ic_hits", IcHits);
+  Fn("ic_misses", IcMisses);
+  Fn("checks_erased", ChecksErased);
 }
 
 std::string RuntimeMetrics::toJson() const {

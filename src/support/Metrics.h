@@ -38,6 +38,12 @@ struct MachineStats {
   uint64_t Sends = 0;
   uint64_t Recvs = 0;
   uint64_t Allocations = 0;
+  /// Bytecode instructions retired by the VM engine (zero under the
+  /// tree-walking interpreter).
+  uint64_t VmInstructions = 0;
+  /// Field-access inline-cache hits/misses (VM engine only).
+  uint64_t IcHits = 0;
+  uint64_t IcMisses = 0;
 
   /// Accumulates another stats block. Supervised restarts use it to fold
   /// a dying attempt's work into the thread's lifetime totals.
@@ -60,6 +66,16 @@ struct RuntimeMetrics {
   uint64_t DisconnectElided = 0;
   uint64_t DisconnectObjectsVisited = 0;
   uint64_t DisconnectEdgesTraversed = 0;
+
+  // VM engine counters (zero under the tree-walking interpreter).
+  /// Bytecode instructions retired across all threads.
+  uint64_t VmInstructions = 0;
+  /// Field-access inline-cache hits and misses.
+  uint64_t IcHits = 0;
+  uint64_t IcMisses = 0;
+  /// Dynamic checks the erased-mode codegen omitted (compile-time count;
+  /// zero in checked mode and under the interpreter).
+  uint64_t ChecksErased = 0;
 
   // Executor counters.
   uint64_t ThreadsSpawned = 0;

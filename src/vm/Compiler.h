@@ -1,0 +1,45 @@
+//===- vm/Compiler.h - Typed-AST → bytecode lowering ------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a checked program to the register bytecode of vm/Bytecode.h:
+/// one chunk per function, stack-disciplined register allocation
+/// (parameters, then lexical bindings, then expression temporaries),
+/// deduplicated constant/type pools, and per-site inline-cache slots for
+/// field accesses. The two codegen modes (checked / erased) and the
+/// verdict-table folding of `if disconnected` are selected by
+/// CompileOptions; see Bytecode.h for the semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_VM_COMPILER_H
+#define FEARLESS_VM_COMPILER_H
+
+#include "checker/Checker.h"
+#include "support/Expected.h"
+#include "vm/Bytecode.h"
+
+#include <string>
+
+namespace fearless {
+namespace vm {
+
+/// Compiles every function of \p Checked. Fails only on internal limits
+/// (register-file overflow) or malformed input a checker bug let through;
+/// checked programs always compile.
+Expected<CompiledProgram> compileProgram(const CheckedProgram &Checked,
+                                         const CompileOptions &Opts = {});
+
+/// Renders \p P human-readably: per-chunk code with mnemonics and
+/// resolved names, constant pools, the `if disconnected` site decisions,
+/// and the checks-erased summary. Backs `fearlessc disasm`.
+std::string disassemble(const CompiledProgram &P,
+                        const CheckedProgram &Checked);
+
+} // namespace vm
+} // namespace fearless
+
+#endif // FEARLESS_VM_COMPILER_H

@@ -1,0 +1,629 @@
+//===- vm/Vm.cpp - Bytecode dispatch loop ---------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+//
+// The dispatch loop mirrors the tree-walking interpreter's observable
+// semantics exactly — same stuck messages, same counter increments, same
+// fault points, same blocking protocol — so the two engines are
+// bit-identical differential oracles for each other. Deviations are
+// bugs; tests/vm_test.cpp enforces this.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include "runtime/Disconnected.h"
+
+#include <cassert>
+
+using namespace fearless;
+using namespace fearless::vm;
+
+// Computed-goto dispatch on GNU-compatible compilers (one indirect
+// branch per op, so the predictor sees per-op history); portable switch
+// fallback elsewhere. The op bodies are written once and shared by both
+// via the VM_CASE / VM_NEXT macros.
+#if defined(__GNUC__) || defined(__clang__)
+#define FEARLESS_VM_COMPUTED_GOTO 1
+#endif
+
+namespace {
+
+/// Instructions retired per stepThread call. The batch is the VM's step
+/// granularity: executors keep their per-step concerns (deterministic
+/// interleaving, preemption quanta, watchdog cancellation, sched.step
+/// fault injection) at a bounded latency while the hot loop stays inside
+/// the dispatcher.
+constexpr int BatchSize = 128;
+
+[[noreturn]] void injectFaultVm(FaultPoint P, ThreadId Id) {
+  RuntimeFault F;
+  F.Kind = RuntimeFaultKind::Injected;
+  F.Detail = static_cast<uint32_t>(P);
+  F.Thread = Id;
+  raiseInjectedFault(F);
+}
+
+const char *checkWhatStr(CheckWhat W) {
+  switch (W) {
+  case CheckWhat::VarRead:
+    return "variable read";
+  case CheckWhat::VarWrite:
+    return "variable write";
+  case CheckWhat::FieldWrite:
+    return "field write";
+  default:
+    return "access";
+  }
+}
+
+const char *boolCheckMsg(CheckWhat W) {
+  switch (W) {
+  case CheckWhat::IfCond:
+    return "if condition is not a bool";
+  case CheckWhat::WhileCond:
+    return "while condition is not a bool";
+  case CheckWhat::LogicalOp:
+    return "logical operator on a non-bool";
+  default:
+    return "conditional on a non-bool";
+  }
+}
+
+} // namespace
+
+StepOutcome vm::stepThreadVm(ThreadState &T, const InterpServices &S) {
+  const CompiledProgram &P = *S.VmCode;
+  ++S.Stats->Steps;
+
+  if (!T.Vm) {
+    // First step: map the executor-provided entry body to its chunk and
+    // build the register file, seeding parameters from the Env slots the
+    // executor populated (the same startThread path the interpreter
+    // uses).
+    auto EntryIt = P.ByBody.find(T.ControlExpr);
+    if (EntryIt == P.ByBody.end()) {
+      T.Error = "no compiled chunk for thread entry (vm compiler bug)";
+      T.Status = ThreadStatus::Failed;
+      return StepOutcome::Stuck;
+    }
+    T.Vm = std::make_shared<VmState>();
+    VmState &Init = *T.Vm;
+    const Chunk &Entry = P.Chunks[EntryIt->second];
+    Init.Frames.push_back(VmFrame{EntryIt->second, 0, 0, UINT32_MAX});
+    Init.Regs.resize(Entry.NumRegs);
+    size_t EnvBase = T.FrameBases.back();
+    assert(T.Env.size() - EnvBase >= Entry.NumParams && "arity checked");
+    for (uint16_t I = 0; I < Entry.NumParams; ++I)
+      Init.Regs[I] = T.Env[EnvBase + I].second;
+    Init.Ic.resize(P.NumIcSlots);
+  }
+
+  VmState &V = *T.Vm;
+  if (T.HasValue) {
+    // Resuming from a paired send/recv: the executor parked us at a
+    // Send/Recv op and hands the value back through ControlValue.
+    if (V.ResumeReg != UINT32_MAX)
+      V.Regs[V.ResumeReg] = T.ControlValue;
+    V.ResumeReg = UINT32_MAX;
+    T.HasValue = false;
+  }
+
+  const Chunk *Ch = &P.Chunks[V.Frames.back().Chunk];
+  const Instr *Code = Ch->Code.data();
+  const Value *Consts = Ch->Constants.data();
+  uint32_t Pc = V.Frames.back().Pc;
+  uint32_t Base = V.Frames.back().Base;
+  Value *Regs = V.Regs.data();
+  MachineStats &Stats = *S.Stats;
+  Heap &H = *S.TheHeap;
+
+  uint64_t Executed = 0;
+  int Budget = BatchSize;
+  const uint64_t BatchStart = T.Trace ? T.Trace->now() : 0;
+  const Instr *In = nullptr;
+
+  auto Flush = [&] {
+    Stats.VmInstructions += Executed;
+    if (T.Trace && Executed)
+      T.Trace->record("vm.dispatch", "vm", 'X', BatchStart,
+                      T.Trace->now() - BatchStart, "instructions",
+                      Executed);
+  };
+  auto Fail = [&](std::string Why) {
+    Flush();
+    T.Error = std::move(Why);
+    T.Status = ThreadStatus::Failed;
+    return StepOutcome::Stuck;
+  };
+  // The dynamic reservation check of the E-rules (same gating and
+  // counter as the interpreter's inReservation).
+  auto InReservation = [&](Loc L) {
+    if (!S.CheckReservations)
+      return true;
+    ++Stats.ReservationChecks;
+    return T.Reservation.count(L.Index) != 0;
+  };
+  auto ValueViolation = [](const Value &Val, const char *What) {
+    return std::string("reservation violation: ") + What + " yielded " +
+           fearless::toString(Val) +
+           " outside this thread's reservation";
+  };
+  // IC-accelerated (struct, field-symbol) → field-index resolution;
+  // UINT32_MAX = no such field.
+  auto ResolveField = [&](Loc BaseLoc, uint32_t IcSlot,
+                          Symbol Field) -> uint32_t {
+    const Object &O = H.get(BaseLoc);
+    VmState::IcEntry &E = V.Ic[IcSlot];
+    if (E.Struct == O.Struct) {
+      ++Stats.IcHits;
+      return E.Field;
+    }
+    const FieldInfo *F = O.Struct->findField(Field);
+    if (!F)
+      return UINT32_MAX;
+    ++Stats.IcMisses;
+    E.Struct = O.Struct;
+    E.Field = F->Index;
+    return F->Index;
+  };
+  auto Allocate = [&](Symbol StructName) {
+    if (S.Faults && S.Faults->shouldFire(FaultPoint::HeapAlloc))
+      injectFaultVm(FaultPoint::HeapAlloc, T.Id);
+    Loc L = H.allocate(StructName);
+    if (L.isValid()) {
+      ++Stats.Allocations;
+      T.Reservation.insert(L.Index);
+    }
+    return L;
+  };
+  auto HeapExhausted = [&] {
+    RuntimeFault F;
+    F.Kind = RuntimeFaultKind::HeapExhausted;
+    F.Thread = T.Id;
+    T.Fault = F;
+    return Fail("heap exhausted: allocation failed at " +
+                std::to_string(H.size()) + " live objects (capacity " +
+                std::to_string(H.capacity()) + ")");
+  };
+
+#ifdef FEARLESS_VM_COMPUTED_GOTO
+
+#define VM_CASE(Name) L_##Name:
+#define VM_NEXT()                                                        \
+  do {                                                                   \
+    if (--Budget < 0)                                                    \
+      goto BatchEnd;                                                     \
+    In = Code + Pc++;                                                    \
+    ++Executed;                                                          \
+    goto *JumpTable[static_cast<size_t>(In->Opcode)];                    \
+  } while (0)
+
+  // Must match the Op enum order exactly.
+  static const void *const JumpTable[] = {
+      &&L_LoadConst, &&L_LoadUnit,    &&L_LoadNone,    &&L_LoadBool,
+      &&L_Move,      &&L_ChkVal,      &&L_ChkWriteBase, &&L_GetField,
+      &&L_GetFieldChk, &&L_SetField,  &&L_NewDefault,  &&L_NewInit,
+      &&L_IsNone,    &&L_Not,         &&L_Neg,         &&L_Add,
+      &&L_Sub,       &&L_Mul,         &&L_Div,         &&L_Mod,
+      &&L_Lt,        &&L_Le,          &&L_Gt,          &&L_Ge,
+      &&L_Eq,        &&L_Ne,          &&L_Jump,        &&L_JumpIfFalse,
+      &&L_JumpIfTrue, &&L_JumpIfNone, &&L_Call,        &&L_Ret,
+      &&L_Send,      &&L_Recv,        &&L_Disconn,     &&L_DisconnElided,
+  };
+  VM_NEXT();
+
+#else
+
+#define VM_CASE(Name) case Op::Name:
+#define VM_NEXT() break
+
+  for (;;) {
+    if (--Budget < 0)
+      goto BatchEnd;
+    In = Code + Pc++;
+    ++Executed;
+    switch (In->Opcode) {
+
+#endif
+
+  VM_CASE(LoadConst) {
+    Regs[Base + In->A] = Consts[In->Imm];
+  }
+  VM_NEXT();
+
+  VM_CASE(LoadUnit) {
+    Regs[Base + In->A] = Value::unitVal();
+  }
+  VM_NEXT();
+
+  VM_CASE(LoadNone) {
+    Regs[Base + In->A] = Value::noneVal();
+  }
+  VM_NEXT();
+
+  VM_CASE(LoadBool) {
+    Regs[Base + In->A] = Value::boolVal(In->B != 0);
+  }
+  VM_NEXT();
+
+  VM_CASE(Move) {
+    Regs[Base + In->A] = Regs[Base + In->B];
+  }
+  VM_NEXT();
+
+  VM_CASE(ChkVal) {
+    const Value &Val = Regs[Base + In->A];
+    if (Val.isLoc() && !InReservation(Val.asLoc()))
+      return Fail(ValueViolation(
+          Val, checkWhatStr(static_cast<CheckWhat>(In->C))));
+  }
+  VM_NEXT();
+
+  VM_CASE(ChkWriteBase) {
+    const Value &BV = Regs[Base + In->A];
+    if (!BV.isLoc())
+      return Fail("field write on a non-object value");
+    if (!InReservation(BV.asLoc()))
+      return Fail("reservation violation: field write on " +
+                  fearless::toString(BV));
+  }
+  VM_NEXT();
+
+  VM_CASE(GetField) {
+    const Value &BV = Regs[Base + In->B];
+    if (!BV.isLoc())
+      return Fail("field read on a non-object value");
+    uint32_t FI = ResolveField(BV.asLoc(), In->C,
+                               Symbol{static_cast<uint32_t>(In->Imm)});
+    if (FI == UINT32_MAX)
+      return Fail("no such field at runtime (checker bug)");
+    Regs[Base + In->A] = H.getField(BV.asLoc(), FI);
+  }
+  VM_NEXT();
+
+  VM_CASE(GetFieldChk) {
+    const Value &BV = Regs[Base + In->B];
+    if (!BV.isLoc())
+      return Fail("field read on a non-object value");
+    if (!InReservation(BV.asLoc()))
+      return Fail("reservation violation: field read on " +
+                  fearless::toString(BV));
+    uint32_t FI = ResolveField(BV.asLoc(), In->C,
+                               Symbol{static_cast<uint32_t>(In->Imm)});
+    if (FI == UINT32_MAX)
+      return Fail("no such field at runtime (checker bug)");
+    Value Out = H.getField(BV.asLoc(), FI);
+    // E5a: the read result must be within the reservation.
+    if (Out.isLoc() && !InReservation(Out.asLoc()))
+      return Fail(ValueViolation(Out, "field read"));
+    Regs[Base + In->A] = Out;
+  }
+  VM_NEXT();
+
+  VM_CASE(SetField) {
+    const Value &BV = Regs[Base + In->A];
+    if (!BV.isLoc())
+      return Fail("field write on a non-object value");
+    uint32_t FI = ResolveField(BV.asLoc(), In->C,
+                               Symbol{static_cast<uint32_t>(In->Imm)});
+    if (FI == UINT32_MAX)
+      return Fail("no such field at runtime (checker bug)");
+    H.setField(BV.asLoc(), FI, Regs[Base + In->B]);
+  }
+  VM_NEXT();
+
+  VM_CASE(NewDefault) {
+    Loc L = Allocate(Symbol{static_cast<uint32_t>(In->Imm)});
+    if (!L.isValid())
+      return HeapExhausted();
+    Regs[Base + In->A] = Value::locVal(L);
+  }
+  VM_NEXT();
+
+  VM_CASE(NewInit) {
+    const NewInitInfo &Info = P.NewTables[In->Imm];
+    Loc L = Allocate(Info.Struct);
+    if (!L.isValid())
+      return HeapExhausted();
+    for (size_t I = 0; I < Info.ArgFields.size(); ++I) {
+      const Value &Arg = Regs[Base + In->B + I];
+      if (Info.Checked && Arg.isLoc() && !InReservation(Arg.asLoc()))
+        return Fail("reservation violation: 'new' initializer outside "
+                    "the reservation");
+      H.setField(L, Info.ArgFields[I], Arg);
+    }
+    Regs[Base + In->A] = Value::locVal(L);
+  }
+  VM_NEXT();
+
+  VM_CASE(IsNone) {
+    Regs[Base + In->A] = Value::boolVal(Regs[Base + In->B].isNone());
+  }
+  VM_NEXT();
+
+  VM_CASE(Not) {
+    const Value &Val = Regs[Base + In->B];
+    if (Val.kind() != Value::Kind::Bool)
+      return Fail("'!' on a non-bool");
+    Regs[Base + In->A] = Value::boolVal(!Val.asBool());
+  }
+  VM_NEXT();
+
+  VM_CASE(Neg) {
+    const Value &Val = Regs[Base + In->B];
+    if (Val.kind() != Value::Kind::Int)
+      return Fail("unary '-' on a non-int");
+    Regs[Base + In->A] = Value::intVal(-Val.asInt());
+  }
+  VM_NEXT();
+
+#define VM_ARITH(Name, Expr)                                             \
+  VM_CASE(Name) {                                                        \
+    const Value &L = Regs[Base + In->B];                                 \
+    const Value &R = Regs[Base + In->C];                                 \
+    if (L.kind() != Value::Kind::Int || R.kind() != Value::Kind::Int)    \
+      return Fail("arithmetic on non-ints");                             \
+    int64_t A = L.asInt(), B = R.asInt();                                \
+    Regs[Base + In->A] = Value::intVal(Expr);                            \
+  }                                                                      \
+  VM_NEXT()
+
+  VM_ARITH(Add, A + B);
+  VM_ARITH(Sub, A - B);
+  VM_ARITH(Mul, A * B);
+#undef VM_ARITH
+
+#define VM_DIVMOD(Name, Expr)                                            \
+  VM_CASE(Name) {                                                        \
+    const Value &L = Regs[Base + In->B];                                 \
+    const Value &R = Regs[Base + In->C];                                 \
+    if (L.kind() != Value::Kind::Int || R.kind() != Value::Kind::Int)    \
+      return Fail("arithmetic on non-ints");                             \
+    if (R.asInt() == 0)                                                  \
+      return Fail("division by zero");                                   \
+    int64_t A = L.asInt(), B = R.asInt();                                \
+    Regs[Base + In->A] = Value::intVal(Expr);                            \
+  }                                                                      \
+  VM_NEXT()
+
+  VM_DIVMOD(Div, A / B);
+  VM_DIVMOD(Mod, A % B);
+#undef VM_DIVMOD
+
+#define VM_COMPARE(Name, OpTok)                                          \
+  VM_CASE(Name) {                                                        \
+    const Value &L = Regs[Base + In->B];                                 \
+    const Value &R = Regs[Base + In->C];                                 \
+    if (L.kind() != Value::Kind::Int || R.kind() != Value::Kind::Int)    \
+      return Fail("comparison on non-ints");                             \
+    Regs[Base + In->A] = Value::boolVal(L.asInt() OpTok R.asInt());      \
+  }                                                                      \
+  VM_NEXT()
+
+  VM_COMPARE(Lt, <);
+  VM_COMPARE(Le, <=);
+  VM_COMPARE(Gt, >);
+  VM_COMPARE(Ge, >=);
+#undef VM_COMPARE
+
+  VM_CASE(Eq) {
+    Regs[Base + In->A] =
+        Value::boolVal(Regs[Base + In->B] == Regs[Base + In->C]);
+  }
+  VM_NEXT();
+
+  VM_CASE(Ne) {
+    Regs[Base + In->A] =
+        Value::boolVal(!(Regs[Base + In->B] == Regs[Base + In->C]));
+  }
+  VM_NEXT();
+
+  VM_CASE(Jump) {
+    Pc = static_cast<uint32_t>(In->Imm);
+  }
+  VM_NEXT();
+
+  VM_CASE(JumpIfFalse) {
+    const Value &Val = Regs[Base + In->A];
+    if (Val.kind() != Value::Kind::Bool)
+      return Fail(boolCheckMsg(static_cast<CheckWhat>(In->C)));
+    if (!Val.asBool())
+      Pc = static_cast<uint32_t>(In->Imm);
+  }
+  VM_NEXT();
+
+  VM_CASE(JumpIfTrue) {
+    const Value &Val = Regs[Base + In->A];
+    if (Val.kind() != Value::Kind::Bool)
+      return Fail(boolCheckMsg(static_cast<CheckWhat>(In->C)));
+    if (Val.asBool())
+      Pc = static_cast<uint32_t>(In->Imm);
+  }
+  VM_NEXT();
+
+  VM_CASE(JumpIfNone) {
+    if (Regs[Base + In->A].isNone())
+      Pc = static_cast<uint32_t>(In->Imm);
+  }
+  VM_NEXT();
+
+  VM_CASE(Call) {
+    const Chunk &Callee = P.Chunks[In->Imm];
+    uint32_t NewBase = Base + Ch->NumRegs;
+    size_t Need = static_cast<size_t>(NewBase) + Callee.NumRegs;
+    V.Frames.back().Pc = Pc;
+    V.Frames.push_back(VmFrame{static_cast<uint32_t>(In->Imm), 0, NewBase,
+                               Base + In->A});
+    if (V.Regs.size() < Need)
+      V.Regs.resize(Need); // amortized; capacity is kept across calls
+    Regs = V.Regs.data();
+    for (uint16_t I = 0; I < In->C; ++I)
+      Regs[NewBase + I] = Regs[Base + In->B + I];
+    Ch = &Callee;
+    Code = Ch->Code.data();
+    Consts = Ch->Constants.data();
+    Pc = 0;
+    Base = NewBase;
+  }
+  VM_NEXT();
+
+  VM_CASE(Ret) {
+    Value RetVal = Regs[Base + In->A];
+    uint32_t RetReg = V.Frames.back().RetReg;
+    V.Frames.pop_back();
+    if (V.Frames.empty()) {
+      T.Result = RetVal;
+      T.Status = ThreadStatus::Finished;
+      Flush();
+      return StepOutcome::Finished;
+    }
+    const VmFrame &F = V.Frames.back();
+    Regs[RetReg] = RetVal;
+    Ch = &P.Chunks[F.Chunk];
+    Code = Ch->Code.data();
+    Consts = Ch->Constants.data();
+    Pc = F.Pc;
+    Base = F.Base;
+  }
+  VM_NEXT();
+
+  VM_CASE(Send) {
+    if (S.Faults && S.Faults->shouldFire(FaultPoint::ChanSend))
+      injectFaultVm(FaultPoint::ChanSend, T.Id);
+    const Value &Val = Regs[Base + In->B];
+    // τ statically recorded by the checker, or derived from the runtime
+    // value for unchecked programs (same fallback as the interpreter).
+    Type Ty;
+    if (In->Imm >= 0) {
+      Ty = P.TypePool[In->Imm];
+    } else {
+      switch (Val.kind()) {
+      case Value::Kind::Unit:
+        Ty = Type::unitTy();
+        break;
+      case Value::Kind::Int:
+        Ty = Type::intTy();
+        break;
+      case Value::Kind::Bool:
+        Ty = Type::boolTy();
+        break;
+      case Value::Kind::Location:
+        Ty = Type::structTy(H.get(Val.asLoc()).Struct->Name);
+        break;
+      case Value::Kind::None:
+        return Fail("cannot derive the type of a sent 'none' without "
+                    "checker information");
+      }
+    }
+    // Block; the machine pairs senders and receivers (EC3) and resumes
+    // us with unit into register A.
+    T.PendingSend = Val;
+    T.CommType = Ty;
+    T.Status = ThreadStatus::BlockedSend;
+    if (T.Trace) {
+      T.TraceBlockStartNs = T.Trace->now();
+      T.Trace->instant("send.block", "channel");
+    }
+    V.ResumeReg = Base + In->A;
+    V.Frames.back().Pc = Pc;
+    Flush();
+    return StepOutcome::BlockedSend;
+  }
+
+  VM_CASE(Recv) {
+    if (S.Faults && S.Faults->shouldFire(FaultPoint::ChanRecv))
+      injectFaultVm(FaultPoint::ChanRecv, T.Id);
+    T.CommType = P.TypePool[In->Imm];
+    T.Status = ThreadStatus::BlockedRecv;
+    if (T.Trace) {
+      T.TraceBlockStartNs = T.Trace->now();
+      T.Trace->instant("recv.block", "channel");
+    }
+    V.ResumeReg = Base + In->A;
+    V.Frames.back().Pc = Pc;
+    Flush();
+    return StepOutcome::BlockedRecv;
+  }
+
+  VM_CASE(Disconn) {
+    const Value &VA = Regs[Base + In->A];
+    const Value &VB = Regs[Base + In->B];
+    if (!VA.isLoc() || !VB.isLoc())
+      return Fail("'if disconnected' arguments must be objects");
+    Loc A = VA.asLoc(), B = VB.asLoc();
+    if ((In->C & DisconnCheckReservation) &&
+        (!InReservation(A) || !InReservation(B)))
+      return Fail("reservation violation: 'if disconnected' argument "
+                  "outside the reservation");
+    if (S.Faults && S.Faults->shouldFire(FaultPoint::DisconnectTraverse))
+      injectFaultVm(FaultPoint::DisconnectTraverse, T.Id);
+    ++Stats.DisconnectChecks;
+    uint64_t TraceStart = T.Trace ? T.Trace->now() : 0;
+    DisconnectOutcome Out =
+        S.UseNaiveDisconnect
+            ? checkDisconnectedNaive(H, A, B, T.Scratch)
+            : checkDisconnectedRefCount(H, A, B, T.Scratch);
+    if (T.Trace)
+      T.Trace->record("disconnect.traverse", "disconnect", 'X',
+                      TraceStart, T.Trace->now() - TraceStart,
+                      "objects_visited", Out.ObjectsVisited);
+    Stats.DisconnectObjectsVisited += Out.ObjectsVisited;
+    Stats.DisconnectEdgesTraversed += Out.EdgesTraversed;
+    if (Out.Disconnected)
+      ++Stats.DisconnectTaken;
+    else
+      Pc = static_cast<uint32_t>(In->Imm); // else branch
+  }
+  VM_NEXT();
+
+  VM_CASE(DisconnElided) {
+    // The analysis proved this site's outcome at compile time; only the
+    // proven branch was emitted. This op keeps the site's checks,
+    // counters, fault point, and optional cross-check identical to the
+    // interpreter's elision path, then falls through.
+    const Value &VA = Regs[Base + In->A];
+    const Value &VB = Regs[Base + In->B];
+    if (!VA.isLoc() || !VB.isLoc())
+      return Fail("'if disconnected' arguments must be objects");
+    Loc A = VA.asLoc(), B = VB.asLoc();
+    if ((In->C & DisconnCheckReservation) &&
+        (!InReservation(A) || !InReservation(B)))
+      return Fail("reservation violation: 'if disconnected' argument "
+                  "outside the reservation");
+    if (S.Faults && S.Faults->shouldFire(FaultPoint::DisconnectTraverse))
+      injectFaultVm(FaultPoint::DisconnectTraverse, T.Id);
+    ++Stats.DisconnectChecks;
+    bool Taken = (In->C & DisconnFoldedTaken) != 0;
+    if (In->C & DisconnCrossCheck) {
+      DisconnectOutcome Real =
+          S.UseNaiveDisconnect
+              ? checkDisconnectedNaive(H, A, B, T.Scratch)
+              : checkDisconnectedRefCount(H, A, B, T.Scratch);
+      if (Real.Disconnected != Taken)
+        return Fail("static 'if disconnected' verdict contradicts the "
+                    "runtime traversal (analysis bug)");
+    }
+    ++Stats.DisconnectElided;
+    if (Taken)
+      ++Stats.DisconnectTaken;
+    if (T.Trace)
+      T.Trace->instant("disconnect.elided", "disconnect");
+  }
+  VM_NEXT();
+
+#ifndef FEARLESS_VM_COMPUTED_GOTO
+    }
+  }
+#endif
+
+#undef VM_CASE
+#undef VM_NEXT
+
+BatchEnd:
+  V.Frames.back().Pc = Pc;
+  Flush();
+  return StepOutcome::Progress;
+}

@@ -22,6 +22,10 @@ Checks, failing with a nonzero exit on the first class of drift found:
     scheduler docs are written around). The scheduler's counters
     (tasks_spawned, steals, parks) are covered by checks 1-2 like any
     other RuntimeMetrics registration.
+ 7. fearlessc accepts `--engine` and docs/IMPLEMENTATION.md documents
+    the `fearlessc disasm` subcommand (the bytecode-VM docs are written
+    around both). The VM's counters (vm_instructions, ic_hits,
+    ic_misses, checks_erased) are covered by checks 1-2.
 
 Run from anywhere: paths are resolved relative to the repo root. Wired
 into tools/ci.sh; `--self-test` exercises the extraction logic against
@@ -38,6 +42,7 @@ ROOT = Path(__file__).resolve().parent.parent
 METRICS_CPP = ROOT / "src" / "support" / "Metrics.cpp"
 OBSERVABILITY_MD = ROOT / "docs" / "OBSERVABILITY.md"
 SCHEDULER_MD = ROOT / "docs" / "SCHEDULER.md"
+IMPLEMENTATION_MD = ROOT / "docs" / "IMPLEMENTATION.md"
 README_MD = ROOT / "README.md"
 FEARLESSC_CPP = ROOT / "tools" / "fearlessc.cpp"
 FAULTINJECTOR_CPP = ROOT / "src" / "support" / "FaultInjector.cpp"
@@ -132,6 +137,10 @@ def self_test() -> int:
         '"--sched-seed"\n//---\n'
     )
     assert extract_accepted_flags(cli) == {"trace", "metrics", "sched-seed"}
+    # Both spellings of a valued flag register it once.
+    assert extract_accepted_flags('"--engine" and "--engine=" forms') == {
+        "engine"
+    }
 
     lines = "run fearlessc with --trace out.json\nunrelated --flag here\n"
     assert extract_documented_flags(lines) == [(1, "trace")]
@@ -178,7 +187,7 @@ def main() -> int:
         return self_test()
 
     for path in (METRICS_CPP, OBSERVABILITY_MD, SCHEDULER_MD, README_MD,
-                 FEARLESSC_CPP, FAULTINJECTOR_CPP):
+                 IMPLEMENTATION_MD, FEARLESSC_CPP, FAULTINJECTOR_CPP):
         if not path.exists():
             print(f"check_docs: missing {path.relative_to(ROOT)}",
                   file=sys.stderr)
@@ -209,10 +218,12 @@ def main() -> int:
         failures += 1
 
     accepted = extract_accepted_flags(FEARLESSC_CPP.read_text())
+    implementation = IMPLEMENTATION_MD.read_text()
     for doc_path, text in (
         (README_MD, README_MD.read_text()),
         (OBSERVABILITY_MD, observability),
         (SCHEDULER_MD, SCHEDULER_MD.read_text()),
+        (IMPLEMENTATION_MD, implementation),
     ):
         for line, flag in extract_documented_flags(text):
             if flag not in accepted:
@@ -266,6 +277,21 @@ def main() -> int:
                 file=sys.stderr,
             )
             failures += 1
+
+    if "engine" not in accepted:
+        print(
+            "check_docs: fearlessc does not accept --engine, but the "
+            "VM docs depend on it",
+            file=sys.stderr,
+        )
+        failures += 1
+    if "fearlessc disasm" not in implementation:
+        print(
+            "check_docs: docs/IMPLEMENTATION.md does not document the "
+            "`fearlessc disasm` subcommand",
+            file=sys.stderr,
+        )
+        failures += 1
 
     if failures:
         print(f"check_docs: {failures} drift issue(s)", file=sys.stderr)

@@ -122,6 +122,39 @@ EOF
     --faults 'heap.alloc=nth:3,seed=7'
 }
 
+# VM engine smoke: the bytecode VM is the default `run` engine; its
+# output must match the interpreter's word for word on every runnable
+# example (the deep differential lives in tests/vm_test.cpp — this
+# catches engine drift end to end through the CLI), and `disasm` must
+# print the chunks and the statically folded `if disconnected` sites.
+run_vm_smoke() {
+  local name="$1" dir="$2"
+  local fc="$dir/tools/fearlessc"
+  echo "==> [$name] vm differential + disasm smoke"
+  local vm_out interp_out
+  for f in "$ROOT/examples/disconnect_static.fls" \
+           "$ROOT/examples/dll_remove.fls"; do
+    vm_out="$("$fc" run "$f" main)"
+    interp_out="$("$fc" run "$f" main --engine interp)"
+    if [[ "$vm_out" != "$interp_out" ]]; then
+      echo "==> [$name] FAIL: engine divergence on $(basename "$f"):" \
+           "vm='$vm_out' interp='$interp_out'" >&2
+      exit 1
+    fi
+    echo "    $(basename "$f"): $vm_out (both engines)"
+  done
+  "$fc" disasm "$ROOT/examples/dll_remove.fls" | grep -q "chunk main" || {
+    echo "==> [$name] FAIL: disasm output missing chunks" >&2
+    exit 1
+  }
+  "$fc" disasm "$ROOT/examples/disconnect_static.fls" |
+    grep -q "disconn.elided" || {
+    echo "==> [$name] FAIL: disasm did not fold the static sites" >&2
+    exit 1
+  }
+  echo "    disasm: chunks and folded sites present"
+}
+
 # Scheduler smoke: bench_scheduler's FEARLESS_SCHED_SMOKE hook runs the
 # 100,000-language-thread token ring to completion on the fixed default
 # worker pool and checks the ping-pong park/unpark path allocates nothing
@@ -172,12 +205,14 @@ run_pass "default" "$ROOT/build"
 run_analyze "default" "$ROOT/build"
 run_trace_smoke "default" "$ROOT/build"
 run_cli_smoke "default" "$ROOT/build"
+run_vm_smoke "default" "$ROOT/build"
 run_sched_smoke "default" "$ROOT/build"
 run_chaos_smoke "default" "$ROOT/build"
 echo "==> [default] bench smoke"
 "$ROOT/tools/bench.sh" --smoke -B "$ROOT/build"
 run_pass "tsan" "$ROOT/build-tsan" -DFEARLESS_SANITIZE=thread
 run_analyze "tsan" "$ROOT/build-tsan"
+run_vm_smoke "tsan" "$ROOT/build-tsan"
 run_sched_smoke "tsan" "$ROOT/build-tsan"
 run_chaos_smoke "tsan" "$ROOT/build-tsan"
 

@@ -12,14 +12,20 @@
 //                                       region lints (--samples analyzes
 //                                       every embedded sample instead)
 //   fearlessc run file.fls main [ints]  check, then run main(ints...)
+//   fearlessc disasm file.fls           print the compiled bytecode:
+//                                       chunks, constant pools, and the
+//                                       per-site check/erased decisions
 //   fearlessc sig file.fls              print every elaborated signature
 //   fearlessc derive file.fls fn        print fn's typing derivation
 //   fearlessc sample NAME               print an embedded sample program
 //                                       (sll | dll | rbtree | message)
 //
 // Options: --no-oracle (naive unification search), --seed N (schedule),
-// --no-checks (erase dynamic reservation checks), --no-elide (keep the
-// dynamic traversal even for statically proven disconnect sites),
+// --engine vm|interp (register-bytecode VM — the default — or the
+// tree-walking interpreter; debug builds cross-check vm results against
+// the interpreter), --no-checks (erase dynamic reservation checks),
+// --no-elide (keep the dynamic traversal even for statically proven
+// disconnect sites),
 // --stats, --metrics (runtime metrics as one JSON line on stdout),
 // --trace FILE (Chrome trace_event JSON for Perfetto/chrome://tracing;
 // composes with --metrics), --faults SPEC (deterministic fault
@@ -38,6 +44,7 @@
 #include "runtime/Machine.h"
 #include "support/FaultInjector.h"
 #include "support/Trace.h"
+#include "vm/Compiler.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -82,12 +89,17 @@ int usage() {
       "  check   <file>                parse + region-check + verify\n"
       "  analyze <file>|--samples      static disconnect verdicts + lints\n"
       "  run     <file> <fn> [ints...] check, then run fn(ints...)\n"
+      "  disasm  <file>                print the compiled bytecode\n"
       "  sig     <file>                print elaborated signatures\n"
       "  derive  <file> <fn>           print fn's typing derivation\n"
       "  dot     <file> <fn>           derivation as a Graphviz digraph\n"
       "  sample  <sll|dll|rbtree|message|trie|extras>  print a sample\n"
-      "options: --no-oracle --seed N --no-checks --no-elide --stats "
+      "options: --no-oracle --seed N --engine NAME --no-checks "
+      "--no-elide --stats "
       "--metrics --trace FILE --faults SPEC --workers N --sched-seed N\n"
+      "  --engine NAME   execution engine for run: vm (the register\n"
+      "                  bytecode VM, default) or interp (the\n"
+      "                  tree-walking interpreter)\n"
       "  --workers N     run on the parallel executor's M:N task\n"
       "                  scheduler with an N-worker pool (0 = auto)\n"
       "  --sched-seed N  scheduling-decision seed for --workers runs\n"
@@ -119,6 +131,9 @@ struct Options {
   std::string FaultSpec;
   bool FaultSpecSet = false;
   uint64_t Seed = 0;
+  /// --engine: "vm" (register-bytecode VM, default) or "interp" (the
+  /// tree-walking interpreter, retained as the differential oracle).
+  std::string Engine = "vm";
   /// --workers: run on ParallelExec's M:N task scheduler instead of the
   /// deterministic abstract machine. 0 = auto-sized pool.
   size_t Workers = 0;
@@ -272,6 +287,37 @@ int cmdRun(const char *Path, const char *Fn,
 #endif
   }
 
+  // --engine=vm (the default): lower the checked program to register
+  // bytecode up front. The Machine path compiles in whatever mode
+  // --no-checks selects, so the checked VM stays a faithful differential
+  // baseline; the workers path always erases (the parallel executors
+  // never run dynamic checks — the checker proved them redundant).
+  Expected<vm::CompiledProgram> VmCode = fail("vm not requested");
+  bool UseVm = Opts.Engine == "vm";
+  if (UseVm) {
+    vm::CompileOptions VO;
+    VO.EmitChecks = !Opts.WorkersSet && Opts.Checks;
+    VO.Verdicts = &Verdicts;
+    VO.ElideDisconnect = Opts.Elide;
+#ifndef NDEBUG
+    VO.CrossCheckElision = true;
+#endif
+    uint64_t CompileStart = 0;
+    TraceBuffer *CompileTB = nullptr;
+    if (!Opts.TracePath.empty()) {
+      CompileTB = &Trace.registerThread(4242, "vm-compiler");
+      CompileStart = CompileTB->now();
+    }
+    VmCode = vm::compileProgram(P->Checked, VO);
+    if (CompileTB)
+      CompileTB->record("vm.compile", "vm", 'X', CompileStart,
+                        CompileTB->now() - CompileStart);
+    if (!VmCode) {
+      std::fprintf(stderr, "%s\n", VmCode.error().render().c_str());
+      return ExitError;
+    }
+  }
+
   // --workers: hand the entry function to the parallel executor (the
   // M:N task scheduler; dynamic checks erased, as for any checked
   // program) instead of the deterministic abstract machine.
@@ -280,6 +326,8 @@ int cmdRun(const char *Path, const char *Fn,
     PO.NumWorkers = Opts.Workers;
     PO.SchedSeed = Opts.SchedSeed;
     PO.Faults = Faults.get();
+    if (UseVm)
+      PO.VmCode = &*VmCode;
     if (!Opts.TracePath.empty())
       PO.Trace = &Trace;
     ParallelExec Exec(P->Checked, PO);
@@ -310,11 +358,39 @@ int cmdRun(const char *Path, const char *Fn,
   MO.StaticVerdicts = &Verdicts;
   MO.ElideDisconnect = Opts.Elide;
   MO.Faults = Faults.get();
+  if (UseVm)
+    MO.VmCode = &*VmCode;
   if (!Opts.TracePath.empty())
     MO.Trace = &Trace;
   Machine M(P->Checked, MO);
+  std::vector<Value> InterpValues = Values; // for the debug cross-check
   M.spawn(Entry, std::move(Values));
   Expected<MachineSummary> R = M.run(Opts.Seed);
+
+#ifndef NDEBUG
+  // Debug builds: re-run the VM result through the tree-walking
+  // interpreter and fail loudly on divergence — the two engines are
+  // differential oracles for each other. Skipped under fault injection
+  // (the injector's triggers are stateful and would fire differently on
+  // the second run).
+  if (UseVm && R && !Faults) {
+    MachineOptions IO = MO;
+    IO.VmCode = nullptr;
+    IO.Trace = nullptr;
+    Machine IM(P->Checked, IO);
+    IM.spawn(Entry, std::move(InterpValues));
+    Expected<MachineSummary> IR = IM.run(Opts.Seed);
+    if (!IR || !(IR->ThreadResults[0] == R->ThreadResults[0])) {
+      std::fprintf(stderr,
+                   "fearlessc: engine divergence: vm produced %s, "
+                   "interpreter produced %s\n",
+                   toString(R->ThreadResults[0]).c_str(),
+                   IR ? toString(IR->ThreadResults[0]).c_str()
+                      : IR.error().render().c_str());
+      return ExitError;
+    }
+  }
+#endif
   // Write whatever was traced even when the run fails — a trace of the
   // failing run is exactly what the flag is for.
   if (!Opts.TracePath.empty()) {
@@ -351,6 +427,27 @@ int cmdRun(const char *Path, const char *Fn,
                     M.stats().DisconnectChecks));
   if (Opts.Metrics)
     std::printf("%s\n", M.metrics().toJson().c_str());
+  return 0;
+}
+
+int cmdDisasm(const char *Path, const Options &Opts) {
+  Expected<Pipeline> P = compileFile(Path, Opts);
+  if (!P) {
+    std::fprintf(stderr, "%s\n", P.error().render().c_str());
+    return exitCodeFor(P.error());
+  }
+  AnalysisReport Report = analyzeProgram(P->Checked);
+  DisconnectVerdictTable Verdicts = Report.verdictTable();
+  vm::CompileOptions VO;
+  VO.EmitChecks = Opts.Checks;
+  VO.Verdicts = &Verdicts;
+  VO.ElideDisconnect = Opts.Elide;
+  Expected<vm::CompiledProgram> Code = vm::compileProgram(P->Checked, VO);
+  if (!Code) {
+    std::fprintf(stderr, "%s\n", Code.error().render().c_str());
+    return ExitError;
+  }
+  std::fputs(vm::disassemble(*Code, P->Checked).c_str(), stdout);
   return 0;
 }
 
@@ -457,8 +554,18 @@ int main(int argc, char **argv) {
       Opts.WorkersSet = true;
     } else if (!std::strcmp(argv[I], "--sched-seed") && I + 1 < argc)
       Opts.SchedSeed = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--engine") && I + 1 < argc)
+      Opts.Engine = argv[++I];
+    else if (!std::strncmp(argv[I], "--engine=", 9))
+      Opts.Engine = argv[I] + 9;
     else
       Positional.push_back(argv[I]);
+  }
+  if (Opts.Engine != "vm" && Opts.Engine != "interp") {
+    std::fprintf(stderr, "fearlessc: unknown engine '%s' (expected vm "
+                         "or interp)\n",
+                 Opts.Engine.c_str());
+    return ExitUsage;
   }
   if (Positional.empty())
     return usage();
@@ -477,6 +584,8 @@ int main(int argc, char **argv) {
       Args.push_back(std::strtoll(Positional[I], nullptr, 10));
     return cmdRun(Positional[1], Positional[2], Args, Opts);
   }
+  if (!std::strcmp(Cmd, "disasm") && Positional.size() == 2)
+    return cmdDisasm(Positional[1], Opts);
   if (!std::strcmp(Cmd, "sig") && Positional.size() == 2)
     return cmdSig(Positional[1], Opts);
   if (!std::strcmp(Cmd, "derive") && Positional.size() == 3)
