@@ -1,0 +1,255 @@
+//===- analysis/CallGraph.cpp - Program call graph + SCC order ------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "ast/Ast.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace fearless;
+
+namespace {
+
+/// Collects callee symbols from one expression tree. Iterative (explicit
+/// worklist) so pathological bodies cannot overflow the C++ stack, but
+/// sites are still recorded in a deterministic order (preorder,
+/// left-to-right).
+void collectCalls(const Expr *Root, std::vector<Symbol> &Out) {
+  std::vector<const Expr *> Stack;
+  // Pushing children in reverse keeps the pop order = source order.
+  auto PushRev = [&Stack](std::initializer_list<const Expr *> Es) {
+    std::vector<const Expr *> Tmp;
+    for (const Expr *E : Es)
+      if (E)
+        Tmp.push_back(E);
+    for (auto It = Tmp.rbegin(); It != Tmp.rend(); ++It)
+      Stack.push_back(*It);
+  };
+  if (Root)
+    Stack.push_back(Root);
+  while (!Stack.empty()) {
+    const Expr *E = Stack.back();
+    Stack.pop_back();
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::BoolLit:
+    case ExprKind::UnitLit:
+    case ExprKind::NoneLit:
+    case ExprKind::VarRef:
+    case ExprKind::Recv:
+      break;
+    case ExprKind::FieldRef:
+      PushRev({cast<FieldRefExpr>(*E).Base.get()});
+      break;
+    case ExprKind::AssignVar:
+      PushRev({cast<AssignVarExpr>(*E).Value.get()});
+      break;
+    case ExprKind::AssignField: {
+      const auto &A = cast<AssignFieldExpr>(*E);
+      PushRev({A.Base.get(), A.Value.get()});
+      break;
+    }
+    case ExprKind::Let: {
+      const auto &L = cast<LetExpr>(*E);
+      PushRev({L.Init.get(), L.Body.get()});
+      break;
+    }
+    case ExprKind::LetSome: {
+      const auto &L = cast<LetSomeExpr>(*E);
+      PushRev({L.Scrutinee.get(), L.SomeBody.get(), L.NoneBody.get()});
+      break;
+    }
+    case ExprKind::If: {
+      const auto &I = cast<IfExpr>(*E);
+      PushRev({I.Cond.get(), I.Then.get(), I.Else.get()});
+      break;
+    }
+    case ExprKind::IfDisconnected: {
+      const auto &I = cast<IfDisconnectedExpr>(*E);
+      PushRev({I.Then.get(), I.Else.get()});
+      break;
+    }
+    case ExprKind::While: {
+      const auto &W = cast<WhileExpr>(*E);
+      PushRev({W.Cond.get(), W.Body.get()});
+      break;
+    }
+    case ExprKind::Seq: {
+      const auto &S = cast<SeqExpr>(*E);
+      for (auto It = S.Elems.rbegin(); It != S.Elems.rend(); ++It)
+        if (It->get())
+          Stack.push_back(It->get());
+      break;
+    }
+    case ExprKind::New: {
+      const auto &N = cast<NewExpr>(*E);
+      for (auto It = N.Args.rbegin(); It != N.Args.rend(); ++It)
+        if (It->get())
+          Stack.push_back(It->get());
+      break;
+    }
+    case ExprKind::SomeExpr:
+      PushRev({cast<SomeExpr>(*E).Operand.get()});
+      break;
+    case ExprKind::IsNone:
+      PushRev({cast<IsNoneExpr>(*E).Operand.get()});
+      break;
+    case ExprKind::Send:
+      PushRev({cast<SendExpr>(*E).Operand.get()});
+      break;
+    case ExprKind::Call: {
+      const auto &C = cast<CallExpr>(*E);
+      Out.push_back(C.Callee);
+      for (auto It = C.Args.rbegin(); It != C.Args.rend(); ++It)
+        if (It->get())
+          Stack.push_back(It->get());
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto &B = cast<BinaryExpr>(*E);
+      PushRev({B.Lhs.get(), B.Rhs.get()});
+      break;
+    }
+    case ExprKind::Unary:
+      PushRev({cast<UnaryExpr>(*E).Operand.get()});
+      break;
+    }
+  }
+}
+
+} // namespace
+
+CallGraph CallGraph::build(const Program &P) {
+  CallGraph G;
+
+  std::unordered_set<Symbol> Known;
+  for (const FnDecl &Fn : P.Functions)
+    Known.insert(Fn.Name);
+
+  for (const FnDecl &Fn : P.Functions) {
+    std::vector<Symbol> Sites;
+    collectCalls(Fn.Body.get(), Sites);
+    G.CallSites[Fn.Name] = Sites.size();
+    std::vector<Symbol> Dedup;
+    std::unordered_set<Symbol> Seen;
+    for (Symbol Callee : Sites)
+      if (Known.count(Callee) && Seen.insert(Callee).second)
+        Dedup.push_back(Callee);
+    G.Callees[Fn.Name] = std::move(Dedup);
+  }
+
+  // Iterative Tarjan over functions in declaration order. Generated
+  // corpora contain multi-thousand-function call chains, so recursion
+  // depth must not track call-chain depth.
+  struct VState {
+    size_t Index = SIZE_MAX; // SIZE_MAX = unvisited
+    size_t Lowlink = 0;
+    bool OnStack = false;
+  };
+  std::unordered_map<Symbol, VState> State;
+  State.reserve(P.Functions.size());
+  std::vector<Symbol> TarjanStack;
+  size_t NextIndex = 0;
+
+  struct Frame {
+    Symbol Fn;
+    size_t NextChild = 0;
+  };
+  std::vector<Frame> Work;
+
+  for (const FnDecl &Root : P.Functions) {
+    if (State[Root.Name].Index != SIZE_MAX)
+      continue;
+    Work.push_back({Root.Name, 0});
+    State[Root.Name].Index = State[Root.Name].Lowlink = NextIndex++;
+    State[Root.Name].OnStack = true;
+    TarjanStack.push_back(Root.Name);
+
+    while (!Work.empty()) {
+      Frame &F = Work.back();
+      const std::vector<Symbol> &Kids = G.Callees[F.Fn];
+      if (F.NextChild < Kids.size()) {
+        Symbol Child = Kids[F.NextChild++];
+        VState &CS = State[Child];
+        if (CS.Index == SIZE_MAX) {
+          CS.Index = CS.Lowlink = NextIndex++;
+          CS.OnStack = true;
+          TarjanStack.push_back(Child);
+          Work.push_back({Child, 0});
+        } else if (CS.OnStack) {
+          State[F.Fn].Lowlink = std::min(State[F.Fn].Lowlink, CS.Index);
+        }
+        continue;
+      }
+      // F's children are exhausted: maybe pop an SCC, then propagate the
+      // lowlink into the parent frame.
+      VState &FS = State[F.Fn];
+      if (FS.Lowlink == FS.Index) {
+        std::vector<Symbol> Scc;
+        for (;;) {
+          Symbol Member = TarjanStack.back();
+          TarjanStack.pop_back();
+          State[Member].OnStack = false;
+          Scc.push_back(Member);
+          if (Member == F.Fn)
+            break;
+        }
+        // Tarjan pops components in reverse topological order, so
+        // appending here directly yields the bottom-up order the summary
+        // engine wants. Keep members in declaration order for stable
+        // reporting.
+        std::sort(Scc.begin(), Scc.end());
+        for (Symbol Member : Scc)
+          G.SccIndex[Member] = G.Sccs.size();
+        G.Sccs.push_back(std::move(Scc));
+      }
+      Symbol Done = F.Fn;
+      Work.pop_back();
+      if (!Work.empty()) {
+        VState &PS = State[Work.back().Fn];
+        PS.Lowlink = std::min(PS.Lowlink, State[Done].Lowlink);
+      }
+    }
+  }
+
+  return G;
+}
+
+const std::vector<Symbol> &CallGraph::callees(Symbol Fn) const {
+  static const std::vector<Symbol> Empty;
+  auto It = Callees.find(Fn);
+  return It == Callees.end() ? Empty : It->second;
+}
+
+size_t CallGraph::callSiteCount(Symbol Fn) const {
+  auto It = CallSites.find(Fn);
+  return It == CallSites.end() ? 0 : It->second;
+}
+
+bool CallGraph::isRecursiveScc(size_t SccIndex) const {
+  assert(SccIndex < Sccs.size());
+  const std::vector<Symbol> &Scc = Sccs[SccIndex];
+  if (Scc.size() > 1)
+    return true;
+  const std::vector<Symbol> &Kids = callees(Scc.front());
+  return std::find(Kids.begin(), Kids.end(), Scc.front()) != Kids.end();
+}
+
+size_t CallGraph::sccOf(Symbol Fn) const {
+  auto It = SccIndex.find(Fn);
+  assert(It != SccIndex.end() && "function not in the graph");
+  return It->second;
+}
+
+size_t CallGraph::edgeCount() const {
+  size_t N = 0;
+  for (const auto &[Fn, Kids] : Callees)
+    N += Kids.size();
+  return N;
+}

@@ -77,21 +77,53 @@ bool isHubKind(AbsNodeKind K) {
 
 class FnAnalyzer {
 public:
+  /// \p Report may be null (effects-only mode: no site classification,
+  /// no diagnostics). \p Summaries may be null (intra-procedural mode:
+  /// every call applies the signature-derived havoc).
   FnAnalyzer(const CheckedProgram &CP, const CheckedFunction &Fn,
-             AnalysisReport &Report)
-      : CP(CP), Fn(Fn), Report(Report), Names(CP.Prog->Names) {}
+             AnalysisReport *Report, const SummaryTable *Summaries)
+      : CP(CP), Fn(Fn), Report(Report), Summaries(Summaries),
+        Names(CP.Prog->Names) {}
 
   void run();
+  FnEffects runForEffects();
 
 private:
   const CheckedProgram &CP;
   const CheckedFunction &Fn;
-  AnalysisReport &Report;
+  AnalysisReport *Report;
+  const SummaryTable *Summaries;
   const Interner &Names;
 
   NodeTable Nodes;
   RegionGraph G;
   int LoopDepth = 0;
+
+  // Effect collection for the interprocedural summary engine. EverEdges
+  // is the monotone union of every edge ever added to any program
+  // point's graph (as untyped may-edges), so reachability over it
+  // over-approximates reachability at *every* point of the execution —
+  // strong updates remove edges from G but never from EverEdges.
+  // WriteTouched holds every node that was the base of a field write,
+  // was sent, or was havocked by a call; StoredValues every node that
+  // was stored as a field value (a new stored reference the §5.2
+  // refcount check would observe).
+  RegionGraph EverEdges;
+  NodeSet WriteTouched;
+  NodeSet StoredValues;
+  // Per regionful parameter (declaration order): its entry cohort (the
+  // parameter node plus its group's summary hub) — the roots the
+  // effects computation measures reach from.
+  std::vector<Symbol> ParamNames;
+  std::vector<NodeSet> ParamCohorts;
+
+  void noteEdges(AbsNodeId From, const NodeSet &Targets) {
+    if (Targets.empty())
+      return;
+    FieldEdge &W = EverEdges.Edges[From][Symbol{}];
+    W.Targets.insert(Targets.begin(), Targets.end());
+    W.Must = false;
+  }
 
   // Site-memoized nodes, so fixpoint revisits reuse ids.
   std::map<const NewExpr *, AbsNodeId> AllocNodes;
@@ -211,6 +243,7 @@ void FnAnalyzer::buildEntryState() {
   std::map<size_t, std::vector<size_t>> Groups;
   for (size_t I = 0; I < Ps.size(); ++I)
     Groups[findRep(I)].push_back(I);
+  std::vector<AbsNodeId> GroupHub(Ps.size());
   for (const auto &[Rep, Members] : Groups) {
     AbsNode S;
     S.Kind = AbsNodeKind::Summary;
@@ -226,10 +259,18 @@ void FnAnalyzer::buildEntryState() {
       FieldEdge &W = G.Edges[M][Symbol{}];
       W.Targets = Cohort;
       W.Must = false;
+      noteEdges(M, Cohort);
       if (Members.size() > 1)
         Nodes[M].Havocked = true;
     }
     Nodes[Sum].Havocked = true;
+    for (size_t I : Members)
+      GroupHub[I] = Sum;
+  }
+
+  for (size_t I = 0; I < Ps.size(); ++I) {
+    ParamNames.push_back(Ps[I].Name);
+    ParamCohorts.push_back(NodeSet{Ps[I].Node, GroupHub[I]});
   }
 
   for (const ParamInfo &PI : Ps) {
@@ -296,6 +337,8 @@ PointsTo FnAnalyzer::evalNew(const NewExpr &E) {
       V.Definite = false;
     }
     G.writeField(Self, F.Name, V, /*Strong=*/Exact, F.Iso);
+    noteEdges(Self, V.Targets);
+    StoredValues.insert(V.Targets.begin(), V.Targets.end());
   }
   return PointsTo{{Self}, Exact};
 }
@@ -329,6 +372,7 @@ PointsTo FnAnalyzer::evalRecv(const RecvExpr &E) {
     FieldEdge &W = G.Edges[M][Symbol{}];
     W.Targets.insert(Cohort.begin(), Cohort.end());
     W.Must = false;
+    noteEdges(M, Cohort);
   }
   if (!E.ValueType.isRegionful())
     return PointsTo{};
@@ -406,6 +450,25 @@ PointsTo FnAnalyzer::evalCall(const CallExpr &E) {
       Slots.push_back(Slot{I, Symbol{}, /*Consumed=*/true, {}});
   }
 
+  // Interprocedural mode: a valid callee summary replaces both the
+  // signature-derived grouping and — for groups made purely of preserved
+  // parameters — the havoc itself. A shape mismatch against the slots
+  // (cannot happen for a checked program) falls back to the signature
+  // path, the sound bottom.
+  const FnSummary *Sum = nullptr;
+  if (Summaries && Decl) {
+    auto SumIt = Summaries->find(E.Callee);
+    if (SumIt != Summaries->end() && SumIt->second.Valid &&
+        SumIt->second.Params.size() == Slots.size()) {
+      Sum = &SumIt->second;
+      for (size_t I = 0; I < Slots.size(); ++I)
+        if (Slots[I].ParamName != Sum->Params[I]) {
+          Sum = nullptr;
+          break;
+        }
+    }
+  }
+
   // Output-region image of a slot's input closure.
   auto outImage = [&](const Slot &S) {
     std::set<RegionId> Out;
@@ -433,33 +496,48 @@ PointsTo FnAnalyzer::evalCall(const CallExpr &E) {
   };
   auto unite = [&](size_t A, size_t B) { Group[findRep(A)] = findRep(B); };
 
-  std::vector<std::set<RegionId>> Images;
-  for (const Slot &S : Slots)
-    Images.push_back(outImage(S));
-  for (size_t I = 0; I < Slots.size(); ++I)
-    for (size_t J = I + 1; J < Slots.size(); ++J) {
-      bool InRelated = std::any_of(
-          Slots[I].InRegions.begin(), Slots[I].InRegions.end(),
-          [&](RegionId R) { return Slots[J].InRegions.contains(R); });
-      bool OutRelated =
-          std::any_of(Images[I].begin(), Images[I].end(),
-                      [&](RegionId R) { return Images[J].contains(R); });
-      if (InRelated || OutRelated)
-        unite(I, J);
+  if (Sum) {
+    // Summary-driven grouping: the callee's measured may-connect
+    // relation, usually far sparser than what the signature admits. In
+    // particular a consumed-and-sent region connects to nothing, and a
+    // read-only callee connects nothing at all.
+    for (size_t I = 0; I < Slots.size(); ++I)
+      for (size_t J = I + 1; J < Slots.size(); ++J)
+        if (Sum->mayConnect(I, J))
+          unite(I, J);
+    if (ResultRegionful)
+      for (size_t I = 0; I < Slots.size(); ++I)
+        if (Sum->mayConnect(I, Sum->resultSlot()))
+          unite(I, ResultSlot);
+  } else {
+    std::vector<std::set<RegionId>> Images;
+    for (const Slot &S : Slots)
+      Images.push_back(outImage(S));
+    for (size_t I = 0; I < Slots.size(); ++I)
+      for (size_t J = I + 1; J < Slots.size(); ++J) {
+        bool InRelated = std::any_of(
+            Slots[I].InRegions.begin(), Slots[I].InRegions.end(),
+            [&](RegionId R) { return Slots[J].InRegions.contains(R); });
+        bool OutRelated =
+            std::any_of(Images[I].begin(), Images[I].end(),
+                        [&](RegionId R) { return Images[J].contains(R); });
+        if (InRelated || OutRelated)
+          unite(I, J);
+      }
+    for (size_t I = 0; I < Slots.size(); ++I) {
+      if (Slots[I].Consumed) {
+        // A consumed region may have been sent away — or retracted into
+        // any other argument or the result. Group with everything.
+        for (size_t J = 0; J < NumGroups; ++J)
+          unite(I, J);
+      }
+      if (Sig && ResultRegionful && Images[I].contains(Sig->ResultRegion))
+        unite(I, ResultSlot);
     }
-  for (size_t I = 0; I < Slots.size(); ++I) {
-    if (Slots[I].Consumed) {
-      // A consumed region may have been sent away — or retracted into any
-      // other argument or the result. Group with everything.
-      for (size_t J = 0; J < NumGroups; ++J)
-        unite(I, J);
-    }
-    if (Sig && ResultRegionful && Images[I].contains(Sig->ResultRegion))
-      unite(I, ResultSlot);
+    if (!Sig)
+      for (size_t I = 0; I < NumGroups; ++I)
+        unite(I, 0);
   }
-  if (!Sig)
-    for (size_t I = 0; I < NumGroups; ++I)
-      unite(I, 0);
 
   // Result nodes (memoized per site).
   AbsNodeId Root, Rest;
@@ -490,6 +568,7 @@ PointsTo FnAnalyzer::evalCall(const CallExpr &E) {
       FieldEdge &W = G.Edges[M][Symbol{}];
       W.Targets.insert(Cohort.begin(), Cohort.end());
       W.Must = false;
+      noteEdges(M, Cohort);
     }
   }
 
@@ -502,13 +581,25 @@ PointsTo FnAnalyzer::evalCall(const CallExpr &E) {
   for (size_t I = 0; I < Slots.size(); ++I)
     Groups[findRep(I)].push_back(I);
   for (const auto &[Rep, Members] : Groups) {
+    bool HasResult = ResultRegionful && findRep(ResultSlot) == Rep;
+    // Preserved groups: the summary proves the callee neither wrote into
+    // nor stored a new reference to anything reachable from these
+    // arguments, and the result does not alias them — leave the caller's
+    // abstract graph completely untouched. This is where cross-call
+    // must-* verdicts come from. Result-aliasing groups (identity-like
+    // callees) deliberately stay on the havoc path: a later write
+    // through the returned alias would otherwise leave stale must-edges
+    // on the argument's nodes.
+    if (Sum && !HasResult &&
+        std::all_of(Members.begin(), Members.end(),
+                    [&](size_t I) { return Sum->Preserved[I]; }))
+      continue;
     NodeSet Reach;
     for (size_t I : Members) {
       const PointsTo &AV = ArgVals[Slots[I].ArgIndex];
       NodeSet R = G.reachableFrom(AV.Targets);
       Reach.insert(R.begin(), R.end());
     }
-    bool HasResult = ResultRegionful && findRep(ResultSlot) == Rep;
     if (HasResult) {
       NodeSet R = G.reachableFrom({Root, Rest});
       Reach.insert(R.begin(), R.end());
@@ -532,6 +623,7 @@ PointsTo FnAnalyzer::evalCall(const CallExpr &E) {
 
     for (AbsNodeId N : Reach) {
       Nodes[N].Havocked = true;
+      WriteTouched.insert(N);
       auto &FieldMap = G.Edges[N];
       // The callee may have rewritten any field of any reachable object
       // to point anywhere in the (merged) region: degrade every named
@@ -547,6 +639,8 @@ PointsTo FnAnalyzer::evalCall(const CallExpr &E) {
       FieldEdge &GW = G.Edges[Glue][Symbol{}];
       GW.Targets.insert(N);
       GW.Must = false;
+      noteEdges(N, {Glue});
+      noteEdges(Glue, {N});
     }
     G.Edges[Glue][Symbol{}].Targets.insert(Glue);
   }
@@ -573,9 +667,12 @@ bool FnAnalyzer::fieldIsIso(AbsNodeId N, Symbol F) const {
 void FnAnalyzer::assignField(const PointsTo &Base, Symbol F,
                              const PointsTo &V) {
   bool Strong = Base.Definite && Base.Targets.size() == 1;
+  WriteTouched.insert(Base.Targets.begin(), Base.Targets.end());
+  StoredValues.insert(V.Targets.begin(), V.Targets.end());
   for (AbsNodeId N : Base.Targets) {
     bool NodeStrong = Strong && Nodes[N].Exact && !Nodes[N].Havocked;
     G.writeField(N, F, V, NodeStrong, fieldIsIso(N, F));
+    noteEdges(N, V.Targets);
     // Keep cohorts closed under mutation: if this node belongs to an
     // entry/call cohort (its wildcard mentions a hub), objects denoted by
     // cohort mates may be the one actually written — make the value
@@ -590,9 +687,11 @@ void FnAnalyzer::assignField(const PointsTo &Base, Symbol F,
     for (AbsNodeId T : WIt->second.Targets)
       if (isHubKind(Nodes[T].Kind))
         Hubs.insert(T);
-    for (AbsNodeId H : Hubs)
+    for (AbsNodeId H : Hubs) {
       for (AbsNodeId T : V.Targets)
         G.addMayEdge(H, Symbol{}, T);
+      noteEdges(H, V.Targets);
+    }
   }
 }
 
@@ -717,7 +816,8 @@ void FnAnalyzer::classify(const IfDisconnectedExpr &E) {
 
 void FnAnalyzer::evalIfDisconnected(const IfDisconnectedExpr &E,
                                     PointsTo &Value) {
-  classify(E);
+  if (Report) // Effects-only runs skip the (side-effect-free) verdicts.
+    classify(E);
   // Both branches are analyzed regardless of the verdict (the dead one is
   // reported, not skipped): the runtime split in the then-branch does not
   // change the physical heap, so no abstract transfer is needed beyond
@@ -835,9 +935,15 @@ PointsTo FnAnalyzer::evaluate(const Expr *E) {
   case ExprKind::IsNone:
     evaluate(cast<IsNoneExpr>(*E).Operand.get());
     return PointsTo{};
-  case ExprKind::Send:
-    evaluate(cast<SendExpr>(*E).Operand.get());
+  case ExprKind::Send: {
+    PointsTo Op = evaluate(cast<SendExpr>(*E).Operand.get());
+    // The sent subgraph leaves the thread: everything reachable from the
+    // operand counts as touched for the effects summary (a caller must
+    // not treat the argument's region as preserved).
+    NodeSet R = G.reachableFrom(Op.Targets);
+    WriteTouched.insert(R.begin(), R.end());
     return PointsTo{};
+  }
   case ExprKind::Recv:
     return evalRecv(cast<RecvExpr>(*E));
   case ExprKind::Call:
@@ -858,10 +964,12 @@ PointsTo FnAnalyzer::evaluate(const Expr *E) {
 void FnAnalyzer::run() {
   buildEntryState();
   evaluate(Fn.Sig.Decl->Body.get());
+  if (!Report)
+    return;
 
   for (const IfDisconnectedExpr *Site : SiteOrder) {
     const SiteReport &R = SiteVerdicts.at(Site);
-    Report.Sites.push_back(R);
+    Report->Sites.push_back(R);
 
     std::string Args = "`if disconnected(" + Names.spelling(Site->VarA) +
                        ", " + Names.spelling(Site->VarB) + ")`";
@@ -882,7 +990,7 @@ void FnAnalyzer::run() {
       D.Message = Args + " is unknown: the runtime traversal decides";
       break;
     }
-    Report.Diags.push_back(D);
+    Report->Diags.push_back(D);
 
     if (R.Verdict != DisconnectVerdict::Unknown) {
       const Expr *Dead = R.Verdict == DisconnectVerdict::MustDisconnected
@@ -897,10 +1005,48 @@ void FnAnalyzer::run() {
         DB.Message = std::string("dead ") + Which +
                      "-branch: the `if disconnected` at " + toString(R.Loc) +
                      " is " + toString(R.Verdict);
-        Report.Diags.push_back(DB);
+        Report->Diags.push_back(DB);
       }
     }
   }
+}
+
+FnEffects FnAnalyzer::runForEffects() {
+  buildEntryState();
+  PointsTo Exit = evaluate(Fn.Sig.Decl->Body.get());
+
+  FnEffects E;
+  E.Params = ParamNames;
+  E.ResultRegionful = Fn.Sig.ReturnType.isRegionful();
+
+  // Ever-reach per slot: reachability over the monotone union of every
+  // edge any program point had, so a write into a subgraph the function
+  // later strong-updated away from is still charged to the parameter.
+  std::vector<NodeSet> Reach;
+  for (const NodeSet &Cohort : ParamCohorts)
+    Reach.push_back(EverEdges.reachableFrom(Cohort));
+  Reach.push_back(EverEdges.reachableFrom(Exit.Targets)); // result slot
+
+  NodeSet Touched = WriteTouched;
+  Touched.insert(StoredValues.begin(), StoredValues.end());
+  for (size_t I = 0; I < ParamCohorts.size(); ++I) {
+    bool Hit = std::any_of(Reach[I].begin(), Reach[I].end(),
+                           [&](AbsNodeId N) { return Touched.contains(N); });
+    E.Touched.push_back(Hit);
+  }
+
+  size_t N = Reach.size();
+  E.SlotOverlap.assign(N, std::vector<bool>(N, false));
+  for (size_t I = 0; I < N; ++I) {
+    E.SlotOverlap[I][I] = true;
+    for (size_t J = I + 1; J < N; ++J) {
+      bool Overlap =
+          std::any_of(Reach[I].begin(), Reach[I].end(),
+                      [&](AbsNodeId M) { return Reach[J].contains(M); });
+      E.SlotOverlap[I][J] = E.SlotOverlap[J][I] = Overlap;
+    }
+  }
+  return E;
 }
 
 //===----------------------------------------------------------------------===//
@@ -1171,13 +1317,25 @@ DisconnectVerdictTable AnalysisReport::verdictTable() const {
   return T;
 }
 
-AnalysisReport analyzeProgram(const CheckedProgram &CP) {
+FnEffects analyzeFunctionEffects(const CheckedProgram &CP,
+                                 const CheckedFunction &Fn,
+                                 const SummaryTable &Summaries) {
+  FnAnalyzer A(CP, Fn, /*Report=*/nullptr, &Summaries);
+  return A.runForEffects();
+}
+
+AnalysisReport analyzeProgram(const CheckedProgram &CP,
+                              const AnalysisOptions &Opts) {
   AnalysisReport Report;
+  if (Opts.Interprocedural)
+    Report.Summaries = computeSummaries(CP, &Report.SummaryInfo);
+  const SummaryTable *Sums =
+      Opts.Interprocedural ? &Report.Summaries : nullptr;
   for (const FnDecl &F : CP.Prog->Functions) {
     auto It = CP.Functions.find(F.Name);
     if (It == CP.Functions.end())
       continue;
-    FnAnalyzer A(CP, It->second, Report);
+    FnAnalyzer A(CP, It->second, &Report, Sums);
     A.run();
   }
   auto Lints = lintProgram(*CP.Prog);
@@ -1228,8 +1386,163 @@ std::string renderDiags(const std::vector<AnalysisDiag> &Diags,
   return Out;
 }
 
+static std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+static const char *diagKindName(AnalysisDiagKind K) {
+  switch (K) {
+  case AnalysisDiagKind::SiteVerdict:
+    return "site-verdict";
+  case AnalysisDiagKind::DeadBranch:
+    return "dead-branch";
+  case AnalysisDiagKind::UseAfterConsume:
+    return "use-after-consume";
+  case AnalysisDiagKind::NeverPopulated:
+    return "never-populated";
+  }
+  return "unknown";
+}
+
+static bool isLintDiag(AnalysisDiagKind K) {
+  return K == AnalysisDiagKind::UseAfterConsume ||
+         K == AnalysisDiagKind::NeverPopulated;
+}
+
+/// Renders the stable machine-readable document of one analyze run
+/// (schema "fearless-analysis-v1"). Error paths keep the same envelope
+/// with "error" set, so tooling can parse every exit uniformly.
+static std::string renderJson(const SourceAnalysis &Out, std::string_view Base,
+                              const SourceAnalysisOptions &Opts,
+                              const AnalysisReport *R, const Interner *Names,
+                              std::string_view Error) {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"schema\": \"fearless-analysis-v1\",\n";
+  OS << "  \"file\": \"" << jsonEscape(Base) << "\",\n";
+  OS << "  \"interprocedural\": "
+     << (Opts.Interprocedural ? "true" : "false") << ",\n";
+  OS << "  \"hard_error\": " << (Out.HardError ? "true" : "false") << ",\n";
+  OS << "  \"checked\": " << (Out.CheckedOk ? "true" : "false") << ",\n";
+  OS << "  \"error\": \"" << jsonEscape(Error) << "\",\n";
+  OS << "  \"functions\": " << Out.FunctionCount << ",\n";
+  OS << "  \"lint_diags\": " << Out.LintDiags << ",\n";
+  OS << "  \"verdicts\": {\"must_disconnected\": " << Out.MustDisconnectedSites
+     << ", \"must_connected\": " << Out.MustConnectedSites
+     << ", \"unknown\": " << Out.UnknownSites << "},\n";
+  OS << "  \"sites\": [";
+  if (R && Names) {
+    bool First = true;
+    for (const SiteReport &S : R->Sites) {
+      OS << (First ? "" : ",") << "\n    {\"function\": \""
+         << jsonEscape(Names->spelling(S.Function)) << "\", \"line\": "
+         << S.Loc.Line << ", \"col\": " << S.Loc.Column << ", \"verdict\": \""
+         << toString(S.Verdict) << "\", \"witness\": \""
+         << jsonEscape(S.Witness) << "\"}";
+      First = false;
+    }
+    if (!First)
+      OS << "\n  ";
+  }
+  OS << "],\n";
+  OS << "  \"diags\": [";
+  if (R) {
+    bool First = true;
+    for (const AnalysisDiag &D : R->Diags) {
+      OS << (First ? "" : ",") << "\n    {\"kind\": \""
+         << diagKindName(D.Kind) << "\", \"line\": " << D.Loc.Line
+         << ", \"col\": " << D.Loc.Column << ", \"message\": \""
+         << jsonEscape(D.Message) << "\"}";
+      First = false;
+    }
+    if (!First)
+      OS << "\n  ";
+  }
+  OS << "],\n";
+  OS << "  \"summaries\": [";
+  if (R && Names) {
+    bool First = true;
+    for (const auto &[Fn, S] : R->Summaries) {
+      OS << (First ? "" : ",") << "\n    {\"function\": \""
+         << jsonEscape(Names->spelling(Fn)) << "\", \"valid\": "
+         << (S.Valid ? "true" : "false") << ", \"params\": [";
+      for (size_t I = 0; I < S.Params.size(); ++I)
+        OS << (I ? ", " : "") << "\"" << jsonEscape(Names->spelling(S.Params[I]))
+           << "\"";
+      OS << "], \"preserved\": [";
+      bool FirstBit = true;
+      for (size_t I = 0; S.Valid && I < S.Params.size(); ++I)
+        if (S.Preserved[I]) {
+          OS << (FirstBit ? "" : ", ") << "\""
+             << jsonEscape(Names->spelling(S.Params[I])) << "\"";
+          FirstBit = false;
+        }
+      OS << "], \"consumed\": [";
+      FirstBit = true;
+      for (size_t I = 0; S.Valid && I < S.Params.size(); ++I)
+        if (S.Consumed[I]) {
+          OS << (FirstBit ? "" : ", ") << "\""
+             << jsonEscape(Names->spelling(S.Params[I])) << "\"";
+          FirstBit = false;
+        }
+      OS << "], \"connects\": [";
+      FirstBit = true;
+      size_t NSlots = S.Params.size() + 1;
+      auto SlotName = [&](size_t I) {
+        return I == S.Params.size() ? std::string("result")
+                                    : Names->spelling(S.Params[I]);
+      };
+      for (size_t I = 0; S.Valid && I < NSlots; ++I)
+        for (size_t J = I + 1; J < NSlots; ++J) {
+          if (!S.mayConnect(I, J))
+            continue;
+          if (J == S.Params.size() && !S.ResultRegionful)
+            continue;
+          OS << (FirstBit ? "" : ", ") << "[\"" << jsonEscape(SlotName(I))
+             << "\", \"" << jsonEscape(SlotName(J)) << "\"]";
+          FirstBit = false;
+        }
+      OS << "], \"result_regionful\": "
+         << (S.ResultRegionful ? "true" : "false") << "}";
+      First = false;
+    }
+    if (!First)
+      OS << "\n  ";
+  }
+  OS << "]\n";
+  OS << "}\n";
+  return OS.str();
+}
+
 SourceAnalysis analyzeSourceText(std::string_view Source,
-                                 std::string_view FileName) {
+                                 std::string_view FileName,
+                                 const SourceAnalysisOptions &Opts) {
   SourceAnalysis Out;
   std::string Base = basenameOf(FileName);
 
@@ -1237,31 +1550,55 @@ SourceAnalysis analyzeSourceText(std::string_view Source,
   auto ProgOpt = parseProgram(Source, Diags);
   if (!ProgOpt) {
     Out.HardError = true;
-    Out.Rendered = Base + ": error: parsing failed\n" + Diags.renderAll();
+    if (Opts.Json)
+      Out.Rendered = renderJson(Out, Base, Opts, nullptr, nullptr,
+                                "parsing failed");
+    else
+      Out.Rendered = Base + ": error: parsing failed\n" + Diags.renderAll();
     return Out;
   }
   Program P = std::move(*ProgOpt);
   StructTable Structs;
   if (!Structs.build(P, Diags) || !resolveProgram(P, Structs, Diags)) {
     Out.HardError = true;
-    Out.Rendered = Base + ": error: resolution failed\n" + Diags.renderAll();
+    if (Opts.Json)
+      Out.Rendered = renderJson(Out, Base, Opts, nullptr, nullptr,
+                                "resolution failed");
+    else
+      Out.Rendered = Base + ": error: resolution failed\n" + Diags.renderAll();
     return Out;
   }
+  Out.FunctionCount = P.Functions.size();
 
   auto Checked = checkProgram(P);
   if (!Checked) {
     // The region checker rejected the program: fall back to the syntactic
     // lints, which usually explain the misuse more directly.
     auto Lints = lintProgram(P);
-    Out.Rendered = Base + ": note: region check failed (" +
-                   Checked.error().Message + " at " +
-                   toString(Checked.error().Loc) +
-                   "); syntactic lints only\n" + renderDiags(Lints, FileName);
+    for (const AnalysisDiag &D : Lints)
+      if (isLintDiag(D.Kind))
+        ++Out.LintDiags;
+    std::string Error = "region check failed: " + Checked.error().Message +
+                        " at " + toString(Checked.error().Loc);
+    if (Opts.Json) {
+      AnalysisReport LintOnly;
+      LintOnly.Diags = std::move(Lints);
+      Out.Rendered =
+          renderJson(Out, Base, Opts, &LintOnly, &P.Names, Error);
+    } else {
+      Out.Rendered = Base + ": note: region check failed (" +
+                     Checked.error().Message + " at " +
+                     toString(Checked.error().Loc) +
+                     "); syntactic lints only\n" +
+                     renderDiags(Lints, FileName);
+    }
     return Out;
   }
   Out.CheckedOk = true;
 
-  AnalysisReport R = analyzeProgram(*Checked);
+  AnalysisOptions AOpts;
+  AOpts.Interprocedural = Opts.Interprocedural;
+  AnalysisReport R = analyzeProgram(*Checked, AOpts);
   for (const SiteReport &S : R.Sites) {
     switch (S.Verdict) {
     case DisconnectVerdict::MustDisconnected:
@@ -1275,6 +1612,15 @@ SourceAnalysis analyzeSourceText(std::string_view Source,
       break;
     }
   }
+  for (const AnalysisDiag &D : R.Diags)
+    if (isLintDiag(D.Kind))
+      ++Out.LintDiags;
+
+  if (Opts.Json) {
+    Out.Rendered = renderJson(Out, Base, Opts, &R, &P.Names, "");
+    return Out;
+  }
+
   std::ostringstream Header;
   Header << Base << ": analyzed " << Checked->Functions.size()
          << " function(s), " << R.Sites.size()
@@ -1282,6 +1628,15 @@ SourceAnalysis analyzeSourceText(std::string_view Source,
          << " must-disconnected, " << Out.MustConnectedSites
          << " must-connected, " << Out.UnknownSites << " unknown\n";
   Out.Rendered = Header.str() + renderDiags(R.Diags, FileName);
+  if (Opts.DumpSummaries) {
+    Out.Rendered += "--- summaries (" +
+                    std::to_string(R.Summaries.size()) + " function(s), " +
+                    std::to_string(R.SummaryInfo.Sccs) + " scc(s), " +
+                    std::to_string(R.SummaryInfo.RecursiveSccs) +
+                    " recursive)\n";
+    for (const auto &[Fn, S] : R.Summaries)
+      Out.Rendered += renderSummary(Fn, S, P.Names) + "\n";
+  }
   return Out;
 }
 

@@ -31,6 +31,7 @@
 #ifndef FEARLESS_ANALYSIS_STATICDISCONNECT_H
 #define FEARLESS_ANALYSIS_STATICDISCONNECT_H
 
+#include "analysis/Summary.h"
 #include "analysis/Verdict.h"
 #include "checker/Checker.h"
 
@@ -71,14 +72,27 @@ struct SiteReport {
 struct AnalysisReport {
   std::vector<SiteReport> Sites;
   std::vector<AnalysisDiag> Diags;
+  /// Per-function region-effect summaries (empty in intra-procedural
+  /// mode) and the statistics of their bottom-up computation.
+  SummaryTable Summaries;
+  SummaryStats SummaryInfo;
 
   /// The per-site verdict table the runtime elision hook consumes.
   DisconnectVerdictTable verdictTable() const;
 };
 
+/// Analysis knobs. Interprocedural mode (the default) computes bottom-up
+/// function summaries first and instantiates them at call sites;
+/// switching it off restores the pure signature-havoc treatment of
+/// calls (the sound bottom every summary falls back to).
+struct AnalysisOptions {
+  bool Interprocedural = true;
+};
+
 /// Runs the abstract interpretation over every checked function of \p CP
 /// and the syntactic lints over its program.
-AnalysisReport analyzeProgram(const CheckedProgram &CP);
+AnalysisReport analyzeProgram(const CheckedProgram &CP,
+                              const AnalysisOptions &Opts = {});
 
 /// The syntactic lint pass alone (use-after-consumes, never-populated
 /// regions). Works on any parsed program — in particular on programs the
@@ -91,19 +105,35 @@ std::vector<AnalysisDiag> lintProgram(const Program &P);
 std::string renderDiags(const std::vector<AnalysisDiag> &Diags,
                         std::string_view FileName);
 
+/// Options of the `fearlessc analyze` pipeline.
+struct SourceAnalysisOptions {
+  /// Forwarded to analyzeProgram.
+  bool Interprocedural = true;
+  /// Append the per-function summary dump to the rendered report.
+  bool DumpSummaries = false;
+  /// Render a machine-readable JSON document (schema
+  /// "fearless-analysis-v1") instead of the human-readable listing.
+  bool Json = false;
+};
+
 /// The `fearlessc analyze` pipeline over a source buffer: parse + resolve,
 /// then check + analyze (or, when the checker rejects the program, the
 /// syntactic lints with the checker's diagnostic as a note).
 struct SourceAnalysis {
-  std::string Rendered;     ///< The full diagnostic listing.
+  std::string Rendered;     ///< The full diagnostic listing (or JSON).
   bool HardError = false;   ///< Parse / resolution failure.
   bool CheckedOk = false;   ///< The region checker accepted the program.
   size_t MustDisconnectedSites = 0;
   size_t MustConnectedSites = 0;
   size_t UnknownSites = 0;
+  size_t FunctionCount = 0;
+  /// Lint diagnostics (use-after-consume, never-populated) — the count
+  /// `fearlessc analyze --werror` turns into a check-stage failure.
+  size_t LintDiags = 0;
 };
 SourceAnalysis analyzeSourceText(std::string_view Source,
-                                 std::string_view FileName);
+                                 std::string_view FileName,
+                                 const SourceAnalysisOptions &Opts = {});
 
 } // namespace fearless
 

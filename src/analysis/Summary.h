@@ -1,0 +1,132 @@
+//===- analysis/Summary.h - Interprocedural region-effect summaries -*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function region-effect summaries and the bottom-up engine that
+/// computes them over the call graph (analysis/CallGraph.h). A summary
+/// records, for each regionful parameter of a function, whether the
+/// function provably leaves the parameter's region graph untouched
+/// (Preserved: no field writes into it, no new stored references to its
+/// objects, no havoc from inner calls) and which parameter/result slots
+/// the function may leave physically connected (MayConnect). Call sites
+/// in StaticDisconnect.cpp instantiate the callee's summary instead of
+/// applying the signature-derived havoc: groups made purely of preserved
+/// parameters are skipped entirely, so the caller's must-edges and
+/// never-havocked allocation nodes survive the call and must-* verdicts
+/// propagate across call boundaries.
+///
+/// Recursion is handled per SCC with an optimistic fixpoint: members
+/// start fully preserved / fully disconnected and monotonically degrade
+/// until stable (the lattice is finite — one bit per parameter plus one
+/// bit per slot pair — so the loop terminates; an iteration cap
+/// invalidates the whole SCC as a backstop, falling back to the
+/// signature havoc, which is the sound bottom). Summaries describe
+/// effects that are only consumed after the callee *returns*, so the
+/// least fixpoint is sound for every terminating execution by induction
+/// on call depth; a non-terminating call never reaches the site that
+/// would have trusted its summary. docs/ANALYSIS.md spells the argument
+/// out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_ANALYSIS_SUMMARY_H
+#define FEARLESS_ANALYSIS_SUMMARY_H
+
+#include "checker/Checker.h"
+
+#include <map>
+#include <vector>
+
+namespace fearless {
+
+/// One function's region-effect summary. Slot indices 0..Params.size()-1
+/// are the regionful parameters in declaration order; slot Params.size()
+/// is the result (meaningful only when ResultRegionful).
+struct FnSummary {
+  /// False = no usable summary: the call site must fall back to the
+  /// signature-derived havoc (the sound bottom). Set for functions whose
+  /// SCC fixpoint hit the iteration cap and for unresolvable callees.
+  bool Valid = false;
+  /// Regionful parameter names in declaration order.
+  std::vector<Symbol> Params;
+  /// Per parameter: the callee releases the region (send / retraction —
+  /// from the signature's output image, exactly as the havoc path
+  /// computes it).
+  std::vector<bool> Consumed;
+  /// Per parameter: the callee provably performs no field write into the
+  /// parameter's region graph, stores no new reference to any of its
+  /// objects, and exposes none of it to an unsummarized call. A call
+  /// group made purely of preserved parameters (with no result in the
+  /// group) is left untouched by evalCall.
+  std::vector<bool> Preserved;
+  /// Symmetric (Params.size()+1)^2 matrix over parameter slots plus the
+  /// result slot: MayConnect[i][j] is true when the callee may leave the
+  /// two slots' graphs physically connected (reach overlap at exit in
+  /// the callee's own abstract graph, accumulated over all program
+  /// points). The diagonal is true by convention.
+  std::vector<std::vector<bool>> MayConnect;
+  bool ResultRegionful = false;
+
+  bool operator==(const FnSummary &) const = default;
+
+  size_t resultSlot() const { return Params.size(); }
+  bool mayConnect(size_t I, size_t J) const {
+    return I < MayConnect.size() && J < MayConnect[I].size() &&
+           MayConnect[I][J];
+  }
+};
+
+using SummaryTable = std::map<Symbol, FnSummary>;
+
+/// Aggregate statistics of one computeSummaries run, for reporting.
+struct SummaryStats {
+  size_t Functions = 0;
+  size_t Sccs = 0;
+  size_t RecursiveSccs = 0;
+  /// Total per-function effect analyses run (fixpoint revisits included).
+  size_t EffectRuns = 0;
+  /// Functions whose SCC hit the iteration cap (summary invalidated).
+  size_t Invalidated = 0;
+  size_t PreservedParams = 0;
+  size_t TotalParams = 0;
+};
+
+/// The raw effects one abstract interpretation of a function body
+/// observed, from which Summary.cpp derives the FnSummary. Computed by
+/// the FnAnalyzer in StaticDisconnect.cpp (analyzeFunctionEffects):
+/// Touched[i] is true when any node ever reachable from parameter i's
+/// entry cohort was the base of a field write, was stored as a field
+/// value, was sent, or was havocked by an inner call; SlotOverlap is the
+/// ever-reach overlap over parameter slots plus the result slot.
+struct FnEffects {
+  std::vector<Symbol> Params;
+  std::vector<bool> Touched;
+  std::vector<std::vector<bool>> SlotOverlap;
+  bool ResultRegionful = false;
+};
+
+/// Runs the abstract interpreter over \p Fn in effects-collection mode,
+/// resolving inner calls against \p Summaries (absent or invalid entries
+/// fall back to signature havoc). Implemented in StaticDisconnect.cpp.
+FnEffects analyzeFunctionEffects(const CheckedProgram &CP,
+                                 const CheckedFunction &Fn,
+                                 const SummaryTable &Summaries);
+
+/// Computes the summary of every checked function of \p CP bottom-up
+/// over the SCC condensation of its call graph.
+SummaryTable computeSummaries(const CheckedProgram &CP,
+                              SummaryStats *Stats = nullptr);
+
+/// Renders one summary as a single human-readable line (the `fearlessc
+/// analyze --summaries` dump), e.g.
+/// "summary `walk(list, n)`: preserved {list}, consumed {}, connects {},
+/// result int".
+std::string renderSummary(Symbol Fn, const FnSummary &S,
+                          const Interner &Names);
+
+} // namespace fearless
+
+#endif // FEARLESS_ANALYSIS_SUMMARY_H

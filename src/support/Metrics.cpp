@@ -75,6 +75,9 @@ void RuntimeMetrics::forEach(
   Fn("ic_hits", IcHits);
   Fn("ic_misses", IcMisses);
   Fn("checks_erased", ChecksErased);
+  Fn("analysis_must_disconnected", AnalysisMustDisconnected);
+  Fn("analysis_must_connected", AnalysisMustConnected);
+  Fn("analysis_unknown", AnalysisUnknown);
 }
 
 std::string RuntimeMetrics::toJson() const {

@@ -77,6 +77,13 @@ struct RuntimeMetrics {
   /// zero in checked mode and under the interpreter).
   uint64_t ChecksErased = 0;
 
+  // Static-analysis counters (filled at analyze/compile time by the
+  // driver, not by the execution engines): the per-site verdict split of
+  // the region-graph analysis whose table feeds disconnect elision.
+  uint64_t AnalysisMustDisconnected = 0;
+  uint64_t AnalysisMustConnected = 0;
+  uint64_t AnalysisUnknown = 0;
+
   // Executor counters.
   uint64_t ThreadsSpawned = 0;
   uint64_t ThreadsFinished = 0;

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestUtil.h"
+#include "analysis/CallGraph.h"
 #include "analysis/StaticDisconnect.h"
 
 #include <gtest/gtest.h>
@@ -171,7 +172,8 @@ TEST(AnalysisGolden, FixturesMatchExactly) {
   // verbatim).
   const char *Fixtures[] = {
       "must_disconnected", "must_connected", "dead_branch",
-      "use_after_consumes", "never_populated",
+      "use_after_consumes", "never_populated", "cross_call_disconnected",
+      "recursive_scc", "summary_downgrade",
   };
   for (const char *Name : Fixtures) {
     std::string Base = std::string(FEARLESS_FIXTURES_DIR) + "/" + Name;
@@ -311,6 +313,254 @@ TEST_P(StaticVsRuntime, ElisionAgreesWithTraversalOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StaticVsRuntime,
+                         ::testing::Values(1, 2, 3, 7, 21, 42, 1234,
+                                           987654321));
+
+//===----------------------------------------------------------------------===//
+// Call graph: SCC condensation, bottom-up order
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraphTest, ChainIsBottomUpSingletons) {
+  Pipeline P = mustCompile(R"(
+struct gnode { next : gnode; }
+def leaf(x : gnode) : int { 0 }
+def mid(x : gnode) : int { leaf(x) }
+def main() : int { let a = new gnode(); mid(a) }
+)");
+  CallGraph G = CallGraph::build(*P.Prog);
+  ASSERT_EQ(G.sccs().size(), 3u);
+  // Bottom-up: callees come before callers.
+  EXPECT_LT(G.sccOf(sym(P, "leaf")), G.sccOf(sym(P, "mid")));
+  EXPECT_LT(G.sccOf(sym(P, "mid")), G.sccOf(sym(P, "main")));
+  EXPECT_EQ(G.edgeCount(), 2u);
+  for (size_t I = 0; I < G.sccs().size(); ++I)
+    EXPECT_FALSE(G.isRecursiveScc(I));
+}
+
+TEST(CallGraphTest, MutualRecursionIsOneRecursiveScc) {
+  Pipeline P = mustCompile(R"(
+struct gnode { next : gnode; }
+def ping(x : gnode, n : int) : int {
+  if (n < 1) { 0 } else { pong(x, n - 1) }
+}
+def pong(x : gnode, n : int) : int {
+  if (n < 1) { 1 } else { ping(x, n - 1) }
+}
+def main() : int { let a = new gnode(); ping(a, 4) }
+)");
+  CallGraph G = CallGraph::build(*P.Prog);
+  ASSERT_EQ(G.sccs().size(), 2u);
+  EXPECT_EQ(G.sccOf(sym(P, "ping")), G.sccOf(sym(P, "pong")));
+  EXPECT_TRUE(G.isRecursiveScc(G.sccOf(sym(P, "ping"))));
+  EXPECT_LT(G.sccOf(sym(P, "ping")), G.sccOf(sym(P, "main")));
+  // Self-loops count as recursive even in a singleton SCC.
+  EXPECT_FALSE(G.isRecursiveScc(G.sccOf(sym(P, "main"))));
+}
+
+TEST(CallGraphTest, DedupesRepeatedCallSites) {
+  Pipeline P = mustCompile(R"(
+struct gnode { next : gnode; }
+def leaf(x : gnode) : int { 0 }
+def main() : int {
+  let a = new gnode();
+  let u = leaf(a);
+  let w = leaf(a);
+  u + w
+}
+)");
+  CallGraph G = CallGraph::build(*P.Prog);
+  EXPECT_EQ(G.callees(sym(P, "main")).size(), 1u);
+  EXPECT_EQ(G.callSiteCount(sym(P, "main")), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Summaries: readers preserved, writers not
+//===----------------------------------------------------------------------===//
+
+TEST(SummaryTest, ReaderPreservesParameterWriterDoesNot) {
+  Pipeline P = mustCompile(R"(
+struct gnode { next : gnode; value : int; }
+def peek(x : gnode) : int { x.value }
+def relink(x : gnode) : int { x.next = new gnode(); x.value }
+def main() : int { let a = new gnode(); peek(a) + relink(a) }
+)");
+  SummaryStats Stats;
+  SummaryTable T = computeSummaries(P.Checked, &Stats);
+  const FnSummary &Peek = T.at(sym(P, "peek"));
+  ASSERT_TRUE(Peek.Valid);
+  ASSERT_EQ(Peek.Params.size(), 1u);
+  EXPECT_TRUE(Peek.Preserved[0]);
+  EXPECT_FALSE(Peek.Consumed[0]);
+  const FnSummary &Relink = T.at(sym(P, "relink"));
+  ASSERT_TRUE(Relink.Valid);
+  ASSERT_EQ(Relink.Params.size(), 1u);
+  EXPECT_FALSE(Relink.Preserved[0]);
+  EXPECT_EQ(Stats.Functions, 3u);
+  EXPECT_EQ(Stats.Invalidated, 0u);
+}
+
+TEST(SummaryTest, RecursiveReaderFixpointStaysPreserved) {
+  Pipeline P = mustCompile(R"(
+struct gnode { next : gnode; value : int; }
+def even_len(x : gnode, n : int) : int {
+  if (n < 1) { x.value } else { odd_len(x, n - 1) }
+}
+def odd_len(x : gnode, n : int) : int {
+  if (n < 1) { 0 } else { even_len(x, n - 1) }
+}
+def main() : int { let a = new gnode(); even_len(a, 4) }
+)");
+  SummaryStats Stats;
+  SummaryTable T = computeSummaries(P.Checked, &Stats);
+  EXPECT_EQ(Stats.RecursiveSccs, 1u);
+  EXPECT_EQ(Stats.Invalidated, 0u);
+  for (const char *Name : {"even_len", "odd_len"}) {
+    const FnSummary &S = T.at(sym(P, Name));
+    ASSERT_TRUE(S.Valid) << Name;
+    ASSERT_EQ(S.Params.size(), 1u) << Name;
+    EXPECT_TRUE(S.Preserved[0]) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural precision: strictly better on cross-call programs,
+// never worse anywhere
+//===----------------------------------------------------------------------===//
+
+const char *CrossCallSource = R"(
+struct gnode { next : gnode; value : int; }
+def peek(x : gnode) : int { x.value }
+def main() : int {
+  let a = new gnode();
+  let b = new gnode();
+  a.next = b;
+  a.next = a;
+  let v = peek(a);
+  if disconnected(a, b) { v + 1 } else { 0 }
+}
+)";
+
+TEST(Interprocedural, CrossCallSiteFlipsFromUnknownToMust) {
+  Pipeline P = mustCompile(CrossCallSource);
+  AnalysisOptions Intra;
+  Intra.Interprocedural = false;
+  AnalysisReport RIntra = analyzeProgram(P.Checked, Intra);
+  ASSERT_EQ(RIntra.Sites.size(), 1u);
+  EXPECT_EQ(RIntra.Sites[0].Verdict, DisconnectVerdict::Unknown);
+
+  AnalysisReport RInter = analyzeProgram(P.Checked);
+  ASSERT_EQ(RInter.Sites.size(), 1u);
+  EXPECT_EQ(RInter.Sites[0].Verdict,
+            DisconnectVerdict::MustDisconnected);
+}
+
+TEST(Interprocedural, ElidedCrossCallRunMatchesTraversal) {
+  Pipeline P = mustCompile(CrossCallSource);
+  AnalysisReport R = analyzeProgram(P.Checked);
+  DisconnectVerdictTable T = R.verdictTable();
+  uint64_t Elided = 0;
+  EXPECT_EQ(runMain(P, &T, /*Elide=*/true, Elided), 1);
+  EXPECT_EQ(Elided, 1u); // answered from the interprocedural verdict
+  EXPECT_EQ(runMain(P, &T, /*Elide=*/false, Elided), 1);
+}
+
+/// Every site must-decided intra-procedurally keeps the same verdict
+/// interprocedurally: summaries only *refine* havoc, never contradict a
+/// proof that did not depend on a call.
+void expectNoDowngrade(const CheckedProgram &CP) {
+  AnalysisOptions Intra;
+  Intra.Interprocedural = false;
+  AnalysisReport A = analyzeProgram(CP, Intra);
+  AnalysisReport B = analyzeProgram(CP);
+  ASSERT_EQ(A.Sites.size(), B.Sites.size());
+  for (size_t I = 0; I < A.Sites.size(); ++I) {
+    ASSERT_EQ(A.Sites[I].Site, B.Sites[I].Site);
+    if (A.Sites[I].Verdict != DisconnectVerdict::Unknown)
+      EXPECT_EQ(B.Sites[I].Verdict, A.Sites[I].Verdict)
+          << "site at " << toString(A.Sites[I].Loc);
+  }
+}
+
+TEST(Interprocedural, NoIntraMustVerdictDegrades) {
+  // The embedded sample suites plus the random single-function sweep:
+  // every intra must-* verdict survives the switch to summaries.
+  for (const char *Source :
+       {programs::SllSuite, programs::DllSuite, programs::RedBlackTree,
+        programs::MessagePassing, programs::BitTrie, programs::Extras}) {
+    Expected<Pipeline> P = compile(Source);
+    ASSERT_TRUE(P.hasValue());
+    expectNoDowngrade(P->Checked);
+  }
+  const uint64_t Seeds[] = {1, 2, 3, 7, 21, 42, 1234, 987654321};
+  for (uint64_t Seed : Seeds) {
+    std::mt19937_64 Rng(Seed);
+    for (int I = 0; I < 6; ++I) {
+      std::string Src = genProgram(Rng);
+      Expected<Pipeline> P = compile(Src);
+      if (!P)
+        continue;
+      expectNoDowngrade(P->Checked);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural property sweep: multi-function programs, elision +
+// cross-check vs the plain traversal
+//===----------------------------------------------------------------------===//
+
+/// A random two-function program: a helper that reads or writes its
+/// parameter, and a main with a detach idiom, a call to the helper, and
+/// a final `if disconnected` — the cross-call shape the summaries exist
+/// for, with the helper's effect randomized so both the preserved and
+/// the havoc paths run.
+std::string genCallProgram(std::mt19937_64 &Rng) {
+  bool Writes = Rng() % 2 == 0;
+  bool Detach = Rng() % 2 == 0;
+  std::string Helper;
+  if (Writes)
+    Helper = "def touch(x : gnode) : int {\n"
+             "  x." +
+             std::string(Rng() % 2 ? "a" : "b") +
+             " = new gnode();\n  1\n}\n";
+  else
+    Helper = "def touch(x : gnode) : int {\n  let n = x.a;\n  2\n}\n";
+  std::string S = "struct gnode { a : gnode; b : gnode; }\n" + Helper +
+                  "def main() : int {\n"
+                  "  let u = new gnode();\n"
+                  "  let w = new gnode();\n"
+                  "  u.a = w;\n";
+  if (Detach)
+    S += "  u.a = u;\n";
+  S += "  let t = touch(u);\n"
+       "  if disconnected(u, w) { t + 10 } else { t }\n}\n";
+  return S;
+}
+
+class InterproceduralVsRuntime
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InterproceduralVsRuntime, ElisionAgreesWithTraversalOracle) {
+  std::mt19937_64 Rng(GetParam());
+  int Compiled = 0;
+  for (int I = 0; I < 8; ++I) {
+    std::string Src = genCallProgram(Rng);
+    Expected<Pipeline> PR = compile(Src);
+    ASSERT_TRUE(PR.hasValue()) << Src;
+    Pipeline P = std::move(*PR);
+    ++Compiled;
+    AnalysisReport R = analyzeProgram(P.Checked);
+    DisconnectVerdictTable T = R.verdictTable();
+    uint64_t ElA = 0, ElB = 0;
+    int64_t WithElision = runMain(P, &T, /*Elide=*/true, ElA);
+    int64_t Traversal = runMain(P, &T, /*Elide=*/false, ElB);
+    EXPECT_EQ(WithElision, Traversal) << Src;
+    EXPECT_EQ(ElB, 0u);
+  }
+  EXPECT_GT(Compiled, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterproceduralVsRuntime,
                          ::testing::Values(1, 2, 3, 7, 21, 42, 1234,
                                            987654321));
 

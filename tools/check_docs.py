@@ -26,6 +26,11 @@ Checks, failing with a nonzero exit on the first class of drift found:
     the `fearlessc disasm` subcommand (the bytecode-VM docs are written
     around both). The VM's counters (vm_instructions, ic_hits,
     ic_misses, checks_erased) are covered by checks 1-2.
+ 8. fearlessc accepts `--interprocedural`, `--json`, `--summaries` and
+    `--werror` (the flags the interprocedural-analysis docs are written
+    around); docs/ANALYSIS.md joins the flag scan of check 3. The
+    analysis counters (analysis_must_disconnected etc.) are covered by
+    checks 1-2 like any other RuntimeMetrics registration.
 
 Run from anywhere: paths are resolved relative to the repo root. Wired
 into tools/ci.sh; `--self-test` exercises the extraction logic against
@@ -43,6 +48,7 @@ METRICS_CPP = ROOT / "src" / "support" / "Metrics.cpp"
 OBSERVABILITY_MD = ROOT / "docs" / "OBSERVABILITY.md"
 SCHEDULER_MD = ROOT / "docs" / "SCHEDULER.md"
 IMPLEMENTATION_MD = ROOT / "docs" / "IMPLEMENTATION.md"
+ANALYSIS_MD = ROOT / "docs" / "ANALYSIS.md"
 README_MD = ROOT / "README.md"
 FEARLESSC_CPP = ROOT / "tools" / "fearlessc.cpp"
 FAULTINJECTOR_CPP = ROOT / "src" / "support" / "FaultInjector.cpp"
@@ -187,7 +193,8 @@ def main() -> int:
         return self_test()
 
     for path in (METRICS_CPP, OBSERVABILITY_MD, SCHEDULER_MD, README_MD,
-                 IMPLEMENTATION_MD, FEARLESSC_CPP, FAULTINJECTOR_CPP):
+                 IMPLEMENTATION_MD, ANALYSIS_MD, FEARLESSC_CPP,
+                 FAULTINJECTOR_CPP):
         if not path.exists():
             print(f"check_docs: missing {path.relative_to(ROOT)}",
                   file=sys.stderr)
@@ -224,6 +231,7 @@ def main() -> int:
         (OBSERVABILITY_MD, observability),
         (SCHEDULER_MD, SCHEDULER_MD.read_text()),
         (IMPLEMENTATION_MD, implementation),
+        (ANALYSIS_MD, ANALYSIS_MD.read_text()),
     ):
         for line, flag in extract_documented_flags(text):
             if flag not in accepted:
@@ -285,6 +293,15 @@ def main() -> int:
             file=sys.stderr,
         )
         failures += 1
+    for flag in ("interprocedural", "json", "summaries", "werror"):
+        if flag not in accepted:
+            print(
+                f"check_docs: fearlessc does not accept --{flag}, but "
+                f"the interprocedural-analysis docs depend on it",
+                file=sys.stderr,
+            )
+            failures += 1
+
     if "fearlessc disasm" not in implementation:
         print(
             "check_docs: docs/IMPLEMENTATION.md does not document the "

@@ -9,8 +9,10 @@
 # smoke run — every bench binary must execute to completion; no perf
 # thresholds, that is tools/bench_compare.py's job), a CLI exit-code
 # smoke, a seeded chaos smoke (fault injection under supervision, 8
-# fixed seeds), then the same test suite and chaos smoke under
-# ThreadSanitizer. The concurrent runtime (ParallelExec, ChannelSet) is
+# fixed seeds), a generated-corpus analysis smoke with an
+# interprocedural precision gate, then the same test suite and chaos
+# smoke under ThreadSanitizer plus the corpus smoke under
+# AddressSanitizer. The concurrent runtime (ParallelExec, ChannelSet) is
 # the part of this repo most likely to rot silently — TSan and chaos
 # keep the "fearless" claim honest.
 #
@@ -155,6 +157,44 @@ run_vm_smoke() {
   echo "    disasm: chunks and folded sites present"
 }
 
+# Generated-corpus smoke: tools/gen_corpus.py emits a deterministic
+# multi-function program per (seed, shape); `analyze --json` must accept
+# it in both modes, and the precision gate holds: the interprocedural
+# must-* count is never below the intra count on any shape, and strictly
+# above it on the shapes built around cross-call disconnect proofs
+# (chain, cross) — the whole point of the summary engine.
+run_corpus_smoke() {
+  local name="$1" dir="$2"
+  local fc="$dir/tools/fearlessc"
+  for seed in 7 21 42; do
+    for shape in chain diamond scc cross mixed; do
+      local src="$dir/ci_corpus_${shape}_${seed}.fls"
+      python3 "$ROOT/tools/gen_corpus.py" \
+        --seed "$seed" --functions 60 --shape "$shape" --out "$src"
+      echo "==> [$name] corpus smoke ($shape, seed $seed)"
+      "$fc" analyze --json "$src" >"$src.inter.json"
+      "$fc" analyze --json --interprocedural=off "$src" >"$src.intra.json"
+      python3 - "$shape" "$src.inter.json" "$src.intra.json" <<'PYEOF'
+import json, sys
+shape = sys.argv[1]
+def musts(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "fearless-analysis-v1", doc.get("schema")
+    assert doc["checked"] and not doc["hard_error"], path
+    v = doc["verdicts"]
+    return v.get("must_disconnected", 0) + v.get("must_connected", 0)
+inter, intra = musts(sys.argv[2]), musts(sys.argv[3])
+assert inter >= intra, f"{shape}: inter {inter} < intra {intra}"
+if shape in ("chain", "cross"):
+    assert inter > intra, \
+        f"{shape}: interprocedural won nothing ({inter} vs {intra})"
+print(f"    must-* verdicts: interprocedural={inter} intra={intra}")
+PYEOF
+    done
+  done
+}
+
 # Scheduler smoke: bench_scheduler's FEARLESS_SCHED_SMOKE hook runs the
 # 100,000-language-thread token ring to completion on the fixed default
 # worker pool and checks the ping-pong park/unpark path allocates nothing
@@ -206,6 +246,7 @@ run_analyze "default" "$ROOT/build"
 run_trace_smoke "default" "$ROOT/build"
 run_cli_smoke "default" "$ROOT/build"
 run_vm_smoke "default" "$ROOT/build"
+run_corpus_smoke "default" "$ROOT/build"
 run_sched_smoke "default" "$ROOT/build"
 run_chaos_smoke "default" "$ROOT/build"
 echo "==> [default] bench smoke"
@@ -215,6 +256,15 @@ run_analyze "tsan" "$ROOT/build-tsan"
 run_vm_smoke "tsan" "$ROOT/build-tsan"
 run_sched_smoke "tsan" "$ROOT/build-tsan"
 run_chaos_smoke "tsan" "$ROOT/build-tsan"
+
+# ASan pass over the analysis front end: the summary engine and the
+# corpus generator push the analyzer over thousands of functions;
+# AddressSanitizer on the same corpus smoke catches lifetime bugs the
+# default pass would miss. Only fearlessc is needed.
+echo "==> [asan] configure + build (FEARLESS_SANITIZE=address)"
+cmake -B "$ROOT/build-asan" -S "$ROOT" -DFEARLESS_SANITIZE=address >/dev/null
+cmake --build "$ROOT/build-asan" -j "$JOBS" --target fearlessc
+run_corpus_smoke "asan" "$ROOT/build-asan"
 
 # Compile-out pass: the tracing layer must build with FEARLESS_TRACE=OFF
 # (stub API) and the trace suite must still pass (it guards its

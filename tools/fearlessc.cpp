@@ -20,7 +20,12 @@
 //   fearlessc sample NAME               print an embedded sample program
 //                                       (sll | dll | rbtree | message)
 //
-// Options: --no-oracle (naive unification search), --seed N (schedule),
+// Options: --interprocedural[=on|off] (bottom-up function summaries at
+// call sites, on by default; off restores pure signature havoc), --json
+// (machine-readable analyze output, schema "fearless-analysis-v1"),
+// --summaries (append the per-function summary dump to the analyze
+// report), --werror (lint diagnostics fail the analyze with the check
+// exit code), --no-oracle (naive unification search), --seed N (schedule),
 // --engine vm|interp (register-bytecode VM — the default — or the
 // tree-walking interpreter; debug builds cross-check vm results against
 // the interpreter), --no-checks (erase dynamic reservation checks),
@@ -94,9 +99,17 @@ int usage() {
       "  derive  <file> <fn>           print fn's typing derivation\n"
       "  dot     <file> <fn>           derivation as a Graphviz digraph\n"
       "  sample  <sll|dll|rbtree|message|trie|extras>  print a sample\n"
-      "options: --no-oracle --seed N --engine NAME --no-checks "
+      "options: --interprocedural[=on|off] --json --summaries --werror "
+      "--no-oracle --seed N --engine NAME --no-checks "
       "--no-elide --stats "
       "--metrics --trace FILE --faults SPEC --workers N --sched-seed N\n"
+      "  --interprocedural[=on|off]  bottom-up function summaries at\n"
+      "                  call sites (default on; off = signature havoc)\n"
+      "  --json          analyze: machine-readable output (schema\n"
+      "                  fearless-analysis-v1)\n"
+      "  --summaries     analyze: append the per-function summary dump\n"
+      "  --werror        analyze: lint diagnostics exit with the check\n"
+      "                  error code (4)\n"
       "  --engine NAME   execution engine for run: vm (the register\n"
       "                  bytecode VM, default) or interp (the\n"
       "                  tree-walking interpreter)\n"
@@ -140,6 +153,16 @@ struct Options {
   bool WorkersSet = false;
   /// --sched-seed: scheduling-decision seed for --workers runs.
   uint64_t SchedSeed = 0;
+  /// --interprocedural[=on|off]: bottom-up function summaries at call
+  /// sites (default on; off = pure signature havoc).
+  bool Interprocedural = true;
+  /// --json: machine-readable analyze output.
+  bool Json = false;
+  /// --summaries: append the per-function summary dump to the report.
+  bool DumpSummaries = false;
+  /// --werror: lint diagnostics make `analyze` exit with the check
+  /// error code.
+  bool Werror = false;
 };
 
 Expected<Pipeline> compileFile(const char *Path, const Options &Opts) {
@@ -176,7 +199,9 @@ int cmdCheck(const char *Path, const Options &Opts) {
               P->Checked.Functions.size());
   // Checker-integrated warnings: always/never-taken disconnect branches
   // found by the static region-graph analysis.
-  AnalysisReport Report = analyzeProgram(P->Checked);
+  AnalysisOptions AO;
+  AO.Interprocedural = Opts.Interprocedural;
+  AnalysisReport Report = analyzeProgram(P->Checked, AO);
   std::vector<AnalysisDiag> Warnings;
   for (const AnalysisDiag &D : Report.Diags)
     if (D.Kind == AnalysisDiagKind::DeadBranch ||
@@ -189,22 +214,40 @@ int cmdCheck(const char *Path, const Options &Opts) {
   return 0;
 }
 
-int analyzeOne(std::string_view Source, const char *Name) {
-  SourceAnalysis A = analyzeSourceText(Source, Name);
+int analyzeOne(std::string_view Source, const char *Name,
+               const Options &Opts) {
+  SourceAnalysisOptions AO;
+  AO.Interprocedural = Opts.Interprocedural;
+  AO.DumpSummaries = Opts.DumpSummaries;
+  AO.Json = Opts.Json;
+  SourceAnalysis A = analyzeSourceText(Source, Name, AO);
   std::fputs(A.Rendered.c_str(), stdout);
-  return A.HardError ? 1 : 0;
+  if (A.HardError)
+    return ExitParse;
+  if (Opts.Werror && A.LintDiags > 0) {
+    // Lints are check-stage findings, so --werror exits with the
+    // check-stage code — scripts can distinguish "region misuse" from
+    // infrastructure failures without parsing messages.
+    Diagnostic D;
+    D.Stage = DiagnosticStage::Check;
+    std::fprintf(stderr,
+                 "fearlessc: error: %zu lint diagnostic(s) with --werror\n",
+                 A.LintDiags);
+    return exitCodeFor(D);
+  }
+  return 0;
 }
 
-int cmdAnalyze(const char *Path) {
+int cmdAnalyze(const char *Path, const Options &Opts) {
   Expected<std::string> Source = readFile(Path);
   if (!Source) {
     std::fprintf(stderr, "%s\n", Source.error().render().c_str());
     return 1;
   }
-  return analyzeOne(*Source, Path);
+  return analyzeOne(*Source, Path, Opts);
 }
 
-int cmdAnalyzeSamples() {
+int cmdAnalyzeSamples(const Options &Opts) {
   const std::pair<const char *, const char *> Samples[] = {
       {"sll", programs::SllSuite},       {"dll", programs::DllSuite},
       {"rbtree", programs::RedBlackTree}, {"message", programs::MessagePassing},
@@ -212,7 +255,7 @@ int cmdAnalyzeSamples() {
   };
   int Rc = 0;
   for (const auto &[Name, Source] : Samples)
-    Rc |= analyzeOne(Source, Name);
+    Rc |= analyzeOne(Source, Name, Opts);
   return Rc;
 }
 
@@ -264,8 +307,33 @@ int cmdRun(const char *Path, const char *Fn,
   }
   // Static verdicts feed the runtime elision hook by default; --no-elide
   // restores the always-traverse behavior for comparison.
-  AnalysisReport Report = analyzeProgram(P->Checked);
+  AnalysisOptions AO;
+  AO.Interprocedural = Opts.Interprocedural;
+  AnalysisReport Report = analyzeProgram(P->Checked, AO);
   DisconnectVerdictTable Verdicts = Report.verdictTable();
+  // The verdict split goes out with --metrics so runs record how much of
+  // the elision the analysis could prove (the engines never see these;
+  // they are compile-time facts).
+  uint64_t MustDiscSites = 0, MustConnSites = 0, UnknownSites = 0;
+  for (const SiteReport &S : Report.Sites) {
+    switch (S.Verdict) {
+    case DisconnectVerdict::MustDisconnected:
+      ++MustDiscSites;
+      break;
+    case DisconnectVerdict::MustConnected:
+      ++MustConnSites;
+      break;
+    case DisconnectVerdict::Unknown:
+      ++UnknownSites;
+      break;
+    }
+  }
+  auto WithAnalysis = [&](RuntimeMetrics M) {
+    M.AnalysisMustDisconnected = MustDiscSites;
+    M.AnalysisMustConnected = MustConnSites;
+    M.AnalysisUnknown = UnknownSites;
+    return M;
+  };
 
   // Tracing: probe the sink *before* the run so an unwritable path is a
   // clean up-front error, not a lost trace after minutes of execution.
@@ -343,13 +411,13 @@ int cmdRun(const char *Path, const char *Fn,
     if (!R) {
       std::fprintf(stderr, "%s\n", R.error().render().c_str());
       if (Opts.Metrics)
-        std::printf("%s\n", Exec.metrics().toJson().c_str());
+        std::printf("%s\n", WithAnalysis(Exec.metrics()).toJson().c_str());
       return Exec.metrics().FaultsEscalated ? ExitRuntimeFault
                                             : ExitError;
     }
     std::printf("%s(...) = %s\n", Fn, toString((*R)[0]).c_str());
     if (Opts.Metrics)
-      std::printf("%s\n", Exec.metrics().toJson().c_str());
+      std::printf("%s\n", WithAnalysis(Exec.metrics()).toJson().c_str());
     return 0;
   }
 
@@ -408,7 +476,7 @@ int cmdRun(const char *Path, const char *Fn,
       std::fprintf(stderr, "fearlessc: %s\n",
                    M.lastFault()->render().c_str());
       if (Opts.Metrics)
-        std::printf("%s\n", M.metrics().toJson().c_str());
+        std::printf("%s\n", WithAnalysis(M.metrics()).toJson().c_str());
       return ExitRuntimeFault;
     }
     std::fprintf(stderr, "%s\n", R.error().render().c_str());
@@ -426,7 +494,7 @@ int cmdRun(const char *Path, const char *Fn,
                 static_cast<unsigned long long>(
                     M.stats().DisconnectChecks));
   if (Opts.Metrics)
-    std::printf("%s\n", M.metrics().toJson().c_str());
+    std::printf("%s\n", WithAnalysis(M.metrics()).toJson().c_str());
   return 0;
 }
 
@@ -436,7 +504,9 @@ int cmdDisasm(const char *Path, const Options &Opts) {
     std::fprintf(stderr, "%s\n", P.error().render().c_str());
     return exitCodeFor(P.error());
   }
-  AnalysisReport Report = analyzeProgram(P->Checked);
+  AnalysisOptions AO;
+  AO.Interprocedural = Opts.Interprocedural;
+  AnalysisReport Report = analyzeProgram(P->Checked, AO);
   DisconnectVerdictTable Verdicts = Report.verdictTable();
   vm::CompileOptions VO;
   VO.EmitChecks = Opts.Checks;
@@ -538,6 +608,27 @@ int main(int argc, char **argv) {
       Opts.Checks = false;
     else if (!std::strcmp(argv[I], "--no-elide"))
       Opts.Elide = false;
+    else if (!std::strcmp(argv[I], "--interprocedural"))
+      Opts.Interprocedural = true;
+    else if (!std::strncmp(argv[I], "--interprocedural=", 18)) {
+      const char *V = argv[I] + 18;
+      if (!std::strcmp(V, "on"))
+        Opts.Interprocedural = true;
+      else if (!std::strcmp(V, "off"))
+        Opts.Interprocedural = false;
+      else {
+        std::fprintf(stderr,
+                     "fearlessc: bad --interprocedural value '%s' "
+                     "(expected on or off)\n",
+                     V);
+        return ExitUsage;
+      }
+    } else if (!std::strcmp(argv[I], "--json"))
+      Opts.Json = true;
+    else if (!std::strcmp(argv[I], "--summaries"))
+      Opts.DumpSummaries = true;
+    else if (!std::strcmp(argv[I], "--werror"))
+      Opts.Werror = true;
     else if (!std::strcmp(argv[I], "--stats"))
       Opts.Stats = true;
     else if (!std::strcmp(argv[I], "--metrics"))
@@ -575,8 +666,8 @@ int main(int argc, char **argv) {
     return cmdCheck(Positional[1], Opts);
   if (!std::strcmp(Cmd, "analyze") && Positional.size() == 2) {
     if (!std::strcmp(Positional[1], "--samples"))
-      return cmdAnalyzeSamples();
-    return cmdAnalyze(Positional[1]);
+      return cmdAnalyzeSamples(Opts);
+    return cmdAnalyze(Positional[1], Opts);
   }
   if (!std::strcmp(Cmd, "run") && Positional.size() >= 3) {
     std::vector<int64_t> Args;
