@@ -1,0 +1,298 @@
+//===- driver/CompilePipeline.cpp -----------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompilePipeline.h"
+
+#include "concurrency/ParallelExec.h"
+#include "runtime/Machine.h"
+#include "support/FaultInjector.h"
+#include "support/Trace.h"
+
+#include <cstdio>
+
+using namespace fearless;
+
+uint64_t PipelineOptions::fingerprint() const {
+  uint64_t F = 0;
+  F |= UseOracle ? 1u : 0u;
+  F |= Interprocedural ? 2u : 0u;
+  F |= Checks ? 4u : 0u;
+  F |= Elide ? 8u : 0u;
+  F |= EmitChecks ? 16u : 0u;
+  F |= (Engine == "vm" ? 32u : 0u);
+  // Mix so distinct flag sets land far apart in the cache key space.
+  F *= 0x9E3779B97F4A7C15ull;
+  F ^= F >> 32;
+  return F;
+}
+
+size_t CompiledArtifact::approxBytes() const {
+  // The AST, typing derivations, analysis report, and constant pools are
+  // all within a small constant factor of the source length for real
+  // programs; the bytecode is measured exactly. The multiplier is
+  // deliberately generous — the cache budget is a ceiling, not a ledger.
+  size_t Bytes = SourceBytes * 24 + 4096;
+  if (VmCode) {
+    for (const vm::Chunk &C : VmCode->Chunks)
+      Bytes += C.Code.size() * sizeof(vm::Instr) +
+               C.Constants.size() * sizeof(Value);
+  }
+  return Bytes;
+}
+
+Expected<std::shared_ptr<const CompiledArtifact>>
+fearless::buildArtifact(std::string_view Source,
+                        const PipelineOptions &Opts, TraceSession *Trace) {
+  CheckerOptions CO;
+  CO.UseLivenessOracle = Opts.UseOracle;
+  Expected<Pipeline> P = compile(Source, CO);
+  if (!P)
+    return P.takeFailure();
+
+  auto A = std::make_shared<CompiledArtifact>();
+  A->P = P.take();
+  A->Options = Opts;
+  A->SourceBytes = Source.size();
+
+  AnalysisOptions AO;
+  AO.Interprocedural = Opts.Interprocedural;
+  A->Report = analyzeProgram(A->P.Checked, AO);
+  A->Verdicts = A->Report.verdictTable();
+  for (const SiteReport &S : A->Report.Sites) {
+    switch (S.Verdict) {
+    case DisconnectVerdict::MustDisconnected:
+      ++A->MustDisconnectedSites;
+      break;
+    case DisconnectVerdict::MustConnected:
+      ++A->MustConnectedSites;
+      break;
+    case DisconnectVerdict::Unknown:
+      ++A->UnknownSites;
+      break;
+    }
+  }
+
+  if (Opts.Engine == "vm") {
+    vm::CompileOptions VO;
+    VO.EmitChecks = Opts.EmitChecks;
+    VO.Verdicts = &A->Verdicts;
+    VO.ElideDisconnect = Opts.Elide;
+#ifndef NDEBUG
+    VO.CrossCheckElision = true;
+#endif
+    uint64_t CompileStart = 0;
+    TraceBuffer *CompileTB = nullptr;
+    if (Trace) {
+      CompileTB = &Trace->registerThread(4242, "vm-compiler");
+      CompileStart = CompileTB->now();
+    }
+    Expected<vm::CompiledProgram> Code =
+        vm::compileProgram(A->P.Checked, VO);
+    if (CompileTB)
+      CompileTB->record("vm.compile", "vm", 'X', CompileStart,
+                        CompileTB->now() - CompileStart);
+    if (!Code)
+      return Code.takeFailure();
+    A->VmCode.emplace(Code.take());
+  }
+  return std::shared_ptr<const CompiledArtifact>(std::move(A));
+}
+
+std::string fearless::renderCheckOutput(const CompiledArtifact &A,
+                                        std::string_view DisplayName,
+                                        bool Stats) {
+  std::string Out(DisplayName);
+  Out += ": OK (" + std::to_string(A.P.Checked.Functions.size()) +
+         " functions)\n";
+  // Checker-integrated warnings: always/never-taken disconnect branches
+  // found by the static region-graph analysis.
+  std::vector<AnalysisDiag> Warnings;
+  for (const AnalysisDiag &D : A.Report.Diags)
+    if (D.Kind == AnalysisDiagKind::DeadBranch ||
+        D.Kind == AnalysisDiagKind::NeverPopulated)
+      Warnings.push_back(D);
+  if (!Warnings.empty())
+    Out += renderDiags(Warnings, DisplayName);
+  if (Stats) {
+    size_t Virtuals = 0, Unify = 0, Loops = 0;
+    for (const auto &[Name, Fn] : A.P.Checked.Functions) {
+      (void)Name;
+      Virtuals += Fn.Stats.VirtualSteps;
+      Unify += Fn.Stats.UnifyCandidates;
+      Loops += Fn.Stats.LoopIterations;
+    }
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "functions: %zu, virtual transformations: %zu, "
+                  "unification candidates: %zu, loop refinements: %zu\n"
+                  "verifier: %zu derivation steps (%zu virtual) "
+                  "re-checked\n",
+                  A.P.Checked.Functions.size(), Virtuals, Unify, Loops,
+                  A.P.Verified.StepsChecked,
+                  A.P.Verified.VirtualStepsChecked);
+    Out += Buf;
+  }
+  return Out;
+}
+
+int fearless::exitCodeForStage(DiagnosticStage Stage) {
+  switch (Stage) {
+  case DiagnosticStage::Parse:
+    return 3;
+  case DiagnosticStage::Check:
+    return 4;
+  case DiagnosticStage::Runtime:
+    return 5;
+  case DiagnosticStage::Unknown:
+    break;
+  }
+  return 1;
+}
+
+RunOutcome fearless::runArtifact(const CompiledArtifact &A,
+                                 const RunSpec &Spec) {
+  RunOutcome O;
+  const Pipeline &P = A.P;
+
+  Symbol Entry = P.Prog->Names.intern(Spec.Fn);
+  const FnDecl *Decl = P.Prog->findFunction(Entry);
+  if (!Decl) {
+    O.Err = "no function '" + Spec.Fn + "'\n";
+    O.Exit = 1;
+    return O;
+  }
+  if (Decl->Params.size() != Spec.Args.size()) {
+    O.Err = "'" + Spec.Fn + "' takes " +
+            std::to_string(Decl->Params.size()) + " arguments, got " +
+            std::to_string(Spec.Args.size()) +
+            " (only int arguments are supported from the CLI)\n";
+    O.Exit = 1;
+    return O;
+  }
+  std::vector<Value> Values;
+  for (size_t I = 0; I < Spec.Args.size(); ++I) {
+    if (!(Decl->Params[I].ParamType == Type::intTy())) {
+      O.Err = "parameter " + std::to_string(I) + " of '" + Spec.Fn +
+              "' is not int\n";
+      O.Exit = 1;
+      return O;
+    }
+    Values.push_back(Value::intVal(Spec.Args[I]));
+  }
+
+  // The verdict split goes out with --metrics so runs record how much of
+  // the elision the analysis could prove (the engines never see these;
+  // they are compile-time facts).
+  auto WithAnalysis = [&](RuntimeMetrics M) {
+    M.AnalysisMustDisconnected = A.MustDisconnectedSites;
+    M.AnalysisMustConnected = A.MustConnectedSites;
+    M.AnalysisUnknown = A.UnknownSites;
+    return M;
+  };
+  bool UseVm = A.VmCode.has_value();
+
+  // --workers: hand the entry function to the parallel executor (the
+  // M:N task scheduler; dynamic checks erased, as for any checked
+  // program) instead of the deterministic abstract machine.
+  if (Spec.WorkersSet) {
+    ParallelExecOptions PO;
+    PO.NumWorkers = Spec.Workers;
+    PO.SchedSeed = Spec.SchedSeed;
+    PO.Faults = Spec.Faults;
+    if (UseVm)
+      PO.VmCode = &*A.VmCode;
+    PO.Trace = Spec.Trace;
+    ParallelExec Exec(P.Checked, PO);
+    Exec.spawn(Entry, std::move(Values));
+    Expected<std::vector<Value>> R = Exec.run();
+    O.Metrics = WithAnalysis(Exec.metrics());
+    O.HasMetrics = true;
+    if (!R) {
+      O.Err = R.error().render() + "\n";
+      if (Spec.Metrics)
+        O.Out += O.Metrics.toJson() + "\n";
+      O.Exit = Exec.metrics().FaultsEscalated ? 5 : 1;
+      return O;
+    }
+    O.Out = Spec.Fn + "(...) = " + toString((*R)[0]) + "\n";
+    if (Spec.Metrics)
+      O.Out += O.Metrics.toJson() + "\n";
+    return O;
+  }
+
+  MachineOptions MO;
+  MO.CheckReservations = A.Options.Checks;
+  MO.StaticVerdicts = &A.Verdicts;
+  MO.ElideDisconnect = A.Options.Elide;
+  MO.Faults = Spec.Faults;
+  if (UseVm)
+    MO.VmCode = &*A.VmCode;
+  MO.Trace = Spec.Trace;
+  Machine M(P.Checked, MO);
+  std::vector<Value> InterpValues = Values; // for the debug cross-check
+  M.spawn(Entry, std::move(Values));
+  Expected<MachineSummary> R = M.run(Spec.Seed);
+
+#ifndef NDEBUG
+  // Debug builds: re-run the VM result through the tree-walking
+  // interpreter and fail loudly on divergence — the two engines are
+  // differential oracles for each other. Skipped under fault injection
+  // (the injector's triggers are stateful and would fire differently on
+  // the second run).
+  if (UseVm && R && !Spec.Faults) {
+    MachineOptions IO = MO;
+    IO.VmCode = nullptr;
+    IO.Trace = nullptr;
+    Machine IM(P.Checked, IO);
+    IM.spawn(Entry, std::move(InterpValues));
+    Expected<MachineSummary> IR = IM.run(Spec.Seed);
+    if (!IR || !(IR->ThreadResults[0] == R->ThreadResults[0])) {
+      O.Err = "fearlessc: engine divergence: vm produced " +
+              (R ? toString(R->ThreadResults[0]) : std::string("<error>")) +
+              ", interpreter produced " +
+              (IR ? toString(IR->ThreadResults[0])
+                  : IR.error().render()) +
+              "\n";
+      O.Exit = 1;
+      return O;
+    }
+  }
+#endif
+  O.Metrics = WithAnalysis(M.metrics());
+  O.HasMetrics = true;
+  if (!R) {
+    // A structured fault (runtime trap or injection) gets the dedicated
+    // diagnostic and exit code; other failures (deadlock, violation,
+    // step limit) stay generic.
+    if (M.lastFault()) {
+      O.Err = "fearlessc: " + M.lastFault()->render() + "\n";
+      if (Spec.Metrics)
+        O.Out += O.Metrics.toJson() + "\n";
+      O.Exit = 5;
+      return O;
+    }
+    O.Err = R.error().render() + "\n";
+    O.Exit = 1;
+    return O;
+  }
+  O.Out = Spec.Fn + "(...) = " + toString(R->ThreadResults[0]) + "\n";
+  if (Spec.Stats) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "steps: %llu, reservation checks: %llu, allocations: "
+                  "%llu, disconnect checks: %llu\n",
+                  static_cast<unsigned long long>(R->Steps),
+                  static_cast<unsigned long long>(
+                      M.stats().ReservationChecks),
+                  static_cast<unsigned long long>(M.stats().Allocations),
+                  static_cast<unsigned long long>(
+                      M.stats().DisconnectChecks));
+    O.Out += Buf;
+  }
+  if (Spec.Metrics)
+    O.Out += O.Metrics.toJson() + "\n";
+  return O;
+}

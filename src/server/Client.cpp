@@ -1,0 +1,123 @@
+//===- server/Client.cpp --------------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace fearless;
+using namespace fearless::server;
+
+Expected<WireResponse>
+fearless::server::decodeResponse(std::string_view Payload) {
+  Expected<Json> Doc = parseJson(Payload);
+  if (!Doc)
+    return fail("response payload is not valid JSON: " +
+                Doc.error().Message);
+  if (!Doc->isObject())
+    return fail("response payload must be a JSON object");
+  std::string V = Doc->getString("v", "");
+  if (V != WireVersion)
+    return fail("unsupported response version '" + V + "'");
+  WireResponse R;
+  R.Id = Doc->getInt("id", 0);
+  R.Ok = Doc->getBool("ok", false);
+  R.Exit = static_cast<int>(Doc->getInt("exit", 1));
+  R.Out = Doc->getString("out", "");
+  R.Err = Doc->getString("err", "");
+  R.Cached = Doc->getBool("cached", false);
+  if (const Json *E = Doc->find("error")) {
+    if (E->isObject()) {
+      R.ErrorCode = E->getString("code", "");
+      R.ErrorMessage = E->getString("message", "");
+    }
+  }
+  return R;
+}
+
+WireClient::~WireClient() { close(); }
+
+void WireClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+ExpectedVoid WireClient::connect(const std::string &SocketPath) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path))
+    return fail("socket path too long: " + SocketPath);
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return fail(std::string("socket(): ") + std::strerror(errno));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    std::string E = std::strerror(errno);
+    close();
+    return fail("connect(" + SocketPath + "): " + E);
+  }
+  return {};
+}
+
+ExpectedVoid WireClient::sendRaw(std::string_view Bytes) {
+  if (Fd < 0)
+    return fail("not connected");
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return fail(std::string("send(): ") + std::strerror(errno));
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return {};
+}
+
+ExpectedVoid WireClient::sendPayload(std::string_view Payload) {
+  return sendRaw(frameMessage(Payload));
+}
+
+Expected<std::string> WireClient::readPayload() {
+  if (Fd < 0)
+    return fail("not connected");
+  char Buf[64 * 1024];
+  while (true) {
+    if (std::optional<std::string> P = Reader.next())
+      return *P;
+    if (Reader.overflowed())
+      return fail("response frame exceeds the payload limit");
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N == 0)
+      return fail("daemon closed the connection");
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return fail(std::string("recv(): ") + std::strerror(errno));
+    }
+    Reader.feed(std::string_view(Buf, static_cast<size_t>(N)));
+  }
+}
+
+Expected<WireResponse> WireClient::request(const WireRequest &R) {
+  if (ExpectedVoid S = sendPayload(encodeRequest(R)); !S)
+    return S.takeFailure();
+  Expected<std::string> Payload = readPayload();
+  if (!Payload)
+    return Payload.takeFailure();
+  return decodeResponse(*Payload);
+}

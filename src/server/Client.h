@@ -1,0 +1,93 @@
+//===- server/Client.h - fearless-wire-v1 client ----------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the wire protocol: connect to a fearlessd socket,
+/// send framed requests, read framed responses. Used by
+/// `fearlessc --daemon`, tests/server_test.cpp, and bench/bench_server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_SERVER_CLIENT_H
+#define FEARLESS_SERVER_CLIENT_H
+
+#include "server/Wire.h"
+
+#include <string>
+
+namespace fearless {
+namespace server {
+
+/// A decoded response, flattened for client consumption.
+struct WireResponse {
+  int64_t Id = 0;
+  bool Ok = false;
+  /// The exit code the client process should report.
+  int Exit = 1;
+  /// Exact stdout/stderr bytes of the equivalent standalone run.
+  std::string Out;
+  std::string Err;
+  bool Cached = false;
+  /// error.code / error.message when ok is false ("" otherwise).
+  std::string ErrorCode;
+  std::string ErrorMessage;
+};
+
+/// Parses a response payload into the flat struct above.
+Expected<WireResponse> decodeResponse(std::string_view Payload);
+
+/// One connection to a fearlessd instance. Not thread-safe; one
+/// conversation at a time.
+class WireClient {
+public:
+  WireClient() = default;
+  ~WireClient();
+  WireClient(const WireClient &) = delete;
+  WireClient &operator=(const WireClient &) = delete;
+  WireClient(WireClient &&O) noexcept
+      : Fd(O.Fd), Reader(std::move(O.Reader)) {
+    O.Fd = -1;
+  }
+  WireClient &operator=(WireClient &&O) noexcept {
+    if (this != &O) {
+      close();
+      Fd = O.Fd;
+      O.Fd = -1;
+      Reader = std::move(O.Reader);
+    }
+    return *this;
+  }
+
+  /// Connects to the unix socket at \p SocketPath.
+  ExpectedVoid connect(const std::string &SocketPath);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Sends one already-encoded payload as a frame. Exposed (rather than
+  /// only request()) so tests can ship malformed payloads.
+  ExpectedVoid sendPayload(std::string_view Payload);
+
+  /// Sends raw bytes with no framing — for protocol-abuse tests
+  /// (truncated frames, garbage headers).
+  ExpectedVoid sendRaw(std::string_view Bytes);
+
+  /// Reads the next complete response frame. Fails on EOF (the daemon
+  /// closed the connection) or a frame beyond DefaultMaxFrameBytes.
+  Expected<std::string> readPayload();
+
+  /// Full round trip: encode \p R, send, read, decode.
+  Expected<WireResponse> request(const WireRequest &R);
+
+private:
+  int Fd = -1;
+  FrameReader Reader;
+};
+
+} // namespace server
+} // namespace fearless
+
+#endif // FEARLESS_SERVER_CLIENT_H

@@ -1,0 +1,130 @@
+//===- server/DerivationCache.cpp -----------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/DerivationCache.h"
+
+using namespace fearless;
+using namespace fearless::server;
+
+CacheKey fearless::server::cacheKey(std::string_view Source,
+                                    const PipelineOptions &Opts) {
+  // Two FNV-1a lanes over the same bytes with distinct offset bases.
+  uint64_t H1 = 0xCBF29CE484222325ull;
+  uint64_t H2 = 0x84222325CBF29CE4ull;
+  for (unsigned char C : Source) {
+    H1 = (H1 ^ C) * 0x100000001B3ull;
+    H2 = (H2 ^ C) * 0x100000001B3ull;
+  }
+  uint64_t F = Opts.fingerprint();
+  H1 = (H1 ^ F) * 0x100000001B3ull;
+  H2 = (H2 ^ (F * 0x9E3779B97F4A7C15ull)) * 0x100000001B3ull;
+  // Fold in the length so differing-length prefixes of a stream can
+  // never alias even under an FNV weakness.
+  H1 ^= Source.size();
+  return CacheKey{H1, H2};
+}
+
+void DerivationCache::touchLocked(
+    std::map<CacheKey, Entry>::iterator It) {
+  if (It->second.InLru)
+    Lru.erase(It->second.LruPos);
+  Lru.push_back(It->first);
+  It->second.LruPos = std::prev(Lru.end());
+  It->second.InLru = true;
+}
+
+void DerivationCache::evictLocked() {
+  while (Stats.Bytes > MaxBytes && !Lru.empty()) {
+    CacheKey Victim = Lru.front();
+    auto It = Entries.find(Victim);
+    // Building entries are never in the LRU list, so a front() victim is
+    // always evictable. The artifact itself stays alive for any session
+    // still holding the shared_ptr.
+    Lru.pop_front();
+    if (It == Entries.end())
+      continue;
+    Stats.Bytes -= It->second.Bytes;
+    Entries.erase(It);
+    --Stats.Entries;
+    ++Stats.Evictions;
+  }
+}
+
+Expected<std::shared_ptr<const CompiledArtifact>>
+DerivationCache::getOrBuild(std::string_view Source,
+                            const PipelineOptions &Opts, bool *WasHit) {
+  if (WasHit)
+    *WasHit = false;
+  if (MaxBytes == 0) {
+    // Caching disabled: private build, no bookkeeping beyond the miss.
+    {
+      std::lock_guard<std::mutex> L(M);
+      ++Stats.Misses;
+    }
+    return buildArtifact(Source, Opts);
+  }
+
+  CacheKey Key = cacheKey(Source, Opts);
+  std::unique_lock<std::mutex> L(M);
+  while (true) {
+    auto It = Entries.find(Key);
+    if (It == Entries.end())
+      break; // miss: this caller becomes the builder
+    Entry &E = It->second;
+    if (E.S == Entry::State::Building) {
+      // Another session is compiling this very key: wait for its
+      // publication instead of compiling twice (single-flight).
+      ++Stats.CoalescedWaits;
+      BuildDone.wait(L);
+      continue; // re-find: the entry may have been evicted since
+    }
+    touchLocked(It);
+    ++Stats.Hits;
+    if (WasHit)
+      *WasHit = true;
+    if (E.S == Entry::State::Failed)
+      return Failure{E.Error};
+    return E.Artifact;
+  }
+
+  // Miss: publish a Building placeholder, compile outside the lock.
+  ++Stats.Misses;
+  Entry &Placeholder = Entries[Key];
+  Placeholder.S = Entry::State::Building;
+  ++Stats.Entries;
+  L.unlock();
+
+  Expected<std::shared_ptr<const CompiledArtifact>> Built =
+      buildArtifact(Source, Opts);
+
+  L.lock();
+  auto It = Entries.find(Key);
+  // The placeholder cannot have been evicted (Building entries never
+  // enter the LRU list) and no second builder can exist for the key.
+  Entry &E = It->second;
+  if (Built) {
+    E.S = Entry::State::Ready;
+    E.Artifact = *Built;
+    E.Bytes = (*Built)->approxBytes();
+  } else {
+    E.S = Entry::State::Failed;
+    E.Error = Built.error();
+    // A failed compile retains only the diagnostic; charge the source
+    // length so a flood of distinct broken programs still hits the cap.
+    E.Bytes = Source.size() + 512;
+  }
+  Stats.Bytes += E.Bytes;
+  touchLocked(It);
+  evictLocked();
+  L.unlock();
+  BuildDone.notify_all();
+  return Built;
+}
+
+CacheStats DerivationCache::stats() const {
+  std::lock_guard<std::mutex> L(M);
+  return Stats;
+}

@@ -1,0 +1,154 @@
+//===- server/Server.h - The fearlessd check/run daemon ---------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived `fearlessd` daemon core: a unix-socket listener
+/// speaking fearless-wire-v1 (server/Wire.h), a fixed pool of session
+/// workers, and the content-hash derivation cache
+/// (server/DerivationCache.h) that lets repeated submissions skip
+/// parse/check/analyze/compile and go straight to execution.
+///
+/// Admission control: the accept thread pushes connections into a
+/// bounded pending queue (capacity `MaxSessions`). When the queue is
+/// full, the connection is answered with one typed `overloaded`
+/// response and closed — backpressure instead of unbounded growth
+/// (`requests_rejected` counts these). A session owns one worker from
+/// dequeue to disconnect; `Workers` bounds concurrent sessions.
+///
+/// Fault domains: a session's runtime faults unwind as the PR 5 typed
+/// RuntimeFault path inside runArtifact and come back as exit-5
+/// responses — a crashing program produces a response, never a dead
+/// daemon. Frame violations poison only their own connection.
+///
+/// Shutdown (the `shutdown` op, or requestShutdown() from a signal
+/// handler): the listener closes, queued-but-unserved sessions get a
+/// `shutting_down` response, active sessions finish their in-flight
+/// request, then run() returns. docs/SERVER.md is the operator's
+/// handbook.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_SERVER_SERVER_H
+#define FEARLESS_SERVER_SERVER_H
+
+#include "server/DerivationCache.h"
+#include "server/Wire.h"
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fearless {
+
+class TraceSession;
+class TraceBuffer;
+
+namespace server {
+
+struct ServerOptions {
+  /// Filesystem path of the unix socket. The daemon owns the path: a
+  /// stale file is replaced at bind, and the file is removed on clean
+  /// shutdown.
+  std::string SocketPath;
+  /// Session worker threads == the number of concurrently served
+  /// sessions. 0 = auto (min(4, hardware threads)).
+  size_t Workers = 0;
+  /// Bound on *pending* (accepted, not yet served) sessions before the
+  /// overloaded rejection kicks in.
+  size_t MaxSessions = 64;
+  /// Derivation-cache budget in bytes; 0 disables caching.
+  size_t CacheBytes = 64u << 20;
+  /// Largest accepted frame payload.
+  size_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// Structured tracing: `server.accept` instants, `server.request`
+  /// spans, `cache.lookup` spans. Null = disabled; must outlive run().
+  TraceSession *Trace = nullptr;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and starts the accept thread and workers.
+  ExpectedVoid start();
+
+  /// Blocks until shutdown has been requested and every thread exited.
+  void run();
+
+  /// Signals shutdown: closes the listener, drains queued sessions,
+  /// lets in-flight requests complete. Safe from any thread (including
+  /// a session worker serving the `shutdown` op) and idempotent; does
+  /// NOT join — run() / the destructor do.
+  void requestShutdown();
+
+  bool stopped() const { return Stop.load(std::memory_order_acquire); }
+
+  /// Daemon-lifetime metrics: the aggregated RuntimeMetrics of every
+  /// executed run plus the server gauges (`sessions_active`,
+  /// `cache_hits`, `cache_misses`, `requests_rejected`).
+  RuntimeMetrics metricsSnapshot() const;
+
+  /// The effective worker count (after the 0 = auto resolution).
+  size_t workerCount() const { return WorkerCount; }
+
+private:
+  void acceptLoop();
+  void workerLoop(size_t Index);
+  /// Serves one session (connection) to EOF, frame violation, or
+  /// shutdown. \p TB is the worker's trace buffer (null when disabled).
+  void serveSession(int Fd, TraceBuffer *TB);
+  /// Decodes and executes one request payload; returns the response
+  /// JSON. Sets \p ShutdownRequested on the shutdown op.
+  Json handleRequest(const std::string &Payload, TraceBuffer *TB,
+                     bool &ShutdownRequested);
+  /// Writes one framed payload; false on a broken connection.
+  static bool sendFrame(int Fd, std::string_view Payload);
+
+  ServerOptions Opts;
+  size_t WorkerCount = 0;
+  DerivationCache Cache;
+
+  /// The listening socket. Atomic because requestShutdown() (any
+  /// thread) calls ::shutdown() on it while the accept thread uses it;
+  /// it is only *closed* in run(), after every thread has joined.
+  std::atomic<int> ListenFd{-1};
+  bool Started = false;
+  std::thread AcceptThread;
+  std::vector<std::thread> WorkerThreads;
+
+  /// Pending accepted connections, bounded by Opts.MaxSessions.
+  std::mutex QueueM;
+  std::condition_variable QueueCV;
+  std::deque<int> Pending;
+
+  /// Sockets currently owned by a worker; shutdown() pokes them so idle
+  /// reads return. Guarded by QueueM.
+  std::vector<int> ActiveFds;
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> SessionsActive{0};
+  std::atomic<uint64_t> SessionsTotal{0};
+  std::atomic<uint64_t> RequestsTotal{0};
+  std::atomic<uint64_t> RequestsRejected{0};
+
+  /// Aggregate RuntimeMetrics over every run served by this daemon.
+  mutable std::mutex MetricsM;
+  RuntimeMetrics Lifetime;
+};
+
+} // namespace server
+} // namespace fearless
+
+#endif // FEARLESS_SERVER_SERVER_H

@@ -40,6 +40,51 @@ void RuntimeMetrics::mergeThread(const MachineStats &S) {
   IcMisses += S.IcMisses;
 }
 
+void RuntimeMetrics::merge(const RuntimeMetrics &O) {
+  Steps += O.Steps;
+  Sends += O.Sends;
+  Recvs += O.Recvs;
+  Allocations += O.Allocations;
+  ReservationChecks += O.ReservationChecks;
+  DisconnectChecks += O.DisconnectChecks;
+  DisconnectTaken += O.DisconnectTaken;
+  DisconnectElided += O.DisconnectElided;
+  DisconnectObjectsVisited += O.DisconnectObjectsVisited;
+  DisconnectEdgesTraversed += O.DisconnectEdgesTraversed;
+  VmInstructions += O.VmInstructions;
+  IcHits += O.IcHits;
+  IcMisses += O.IcMisses;
+  ChecksErased += O.ChecksErased;
+  AnalysisMustDisconnected += O.AnalysisMustDisconnected;
+  AnalysisMustConnected += O.AnalysisMustConnected;
+  AnalysisUnknown += O.AnalysisUnknown;
+  ThreadsSpawned += O.ThreadsSpawned;
+  ThreadsFinished += O.ThreadsFinished;
+  ThreadsCancelled += O.ThreadsCancelled;
+  ThreadsErrored += O.ThreadsErrored;
+  HeapObjects += O.HeapObjects;
+  WallMicros += O.WallMicros;
+  WatchdogFired += O.WatchdogFired;
+  TasksSpawned += O.TasksSpawned;
+  Steals += O.Steals;
+  Parks += O.Parks;
+  FaultsInjected += O.FaultsInjected;
+  ThreadsRestarted += O.ThreadsRestarted;
+  RestartBackoffMillis += O.RestartBackoffMillis;
+  FaultsEscalated += O.FaultsEscalated;
+  ChannelsCreated += O.ChannelsCreated;
+  ChannelSends += O.ChannelSends;
+  ChannelRecvs += O.ChannelRecvs;
+  ChannelPeakDepth =
+      ChannelPeakDepth > O.ChannelPeakDepth ? ChannelPeakDepth
+                                            : O.ChannelPeakDepth;
+  ChannelDroppedValues += O.ChannelDroppedValues;
+  SessionsActive += O.SessionsActive;
+  CacheHits += O.CacheHits;
+  CacheMisses += O.CacheMisses;
+  RequestsRejected += O.RequestsRejected;
+}
+
 void RuntimeMetrics::forEach(
     const std::function<void(const char *, uint64_t)> &Fn) const {
   Fn("steps", Steps);
@@ -78,6 +123,10 @@ void RuntimeMetrics::forEach(
   Fn("analysis_must_disconnected", AnalysisMustDisconnected);
   Fn("analysis_must_connected", AnalysisMustConnected);
   Fn("analysis_unknown", AnalysisUnknown);
+  Fn("sessions_active", SessionsActive);
+  Fn("cache_hits", CacheHits);
+  Fn("cache_misses", CacheMisses);
+  Fn("requests_rejected", RequestsRejected);
 }
 
 std::string RuntimeMetrics::toJson() const {

@@ -129,8 +129,27 @@ struct RuntimeMetrics {
   /// Values discarded because they were sent into a closing run.
   uint64_t ChannelDroppedValues = 0;
 
+  // Daemon counters (fearlessd only; zero in standalone runs). The
+  // daemon's `metrics` op reports its lifetime aggregate with these
+  // gauges stamped in (docs/SERVER.md).
+  /// Sessions currently owned by a server worker.
+  uint64_t SessionsActive = 0;
+  /// Derivation-cache lookups served without compiling (includes
+  /// requests coalesced onto another session's in-flight compile).
+  uint64_t CacheHits = 0;
+  /// Derivation-cache lookups that had to compile.
+  uint64_t CacheMisses = 0;
+  /// Connections refused with a typed `overloaded` response because the
+  /// pending-session queue was full.
+  uint64_t RequestsRejected = 0;
+
   /// Accumulates one thread's interpreter counters (called at join).
   void mergeThread(const MachineStats &S);
+
+  /// Accumulates a whole run's metrics — every counter summed. The
+  /// daemon folds each served run into its lifetime aggregate with this
+  /// (gauges like SessionsActive are overwritten afterwards, not summed).
+  void merge(const RuntimeMetrics &O);
 
   /// Visits every counter as a (name, value) pair in a stable order.
   void forEach(

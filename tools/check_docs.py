@@ -31,6 +31,18 @@ Checks, failing with a nonzero exit on the first class of drift found:
     around); docs/ANALYSIS.md joins the flag scan of check 3. The
     analysis counters (analysis_must_disconnected etc.) are covered by
     checks 1-2 like any other RuntimeMetrics registration.
+ 9. The daemon docs: every wire op in src/server/Wire.cpp's OpNames
+    array has a `op`-backticked mention in docs/SERVER.md; every flag
+    tools/fearlessd.cpp accepts appears in docs/SERVER.md; every --flag
+    on a line mentioning `fearlessd` in README.md, docs/SERVER.md, or
+    docs/OBSERVABILITY.md is actually accepted by fearlessd (stale-flag
+    detection, mirror of check 3); fearlessc accepts `--daemon`;
+    docs/SERVER.md names all four server counters (sessions_active,
+    cache_hits, cache_misses, requests_rejected — their glossary rows
+    are covered by checks 1-2); and docs/SERVER.md joins the fearlessc
+    flag scan of check 3.
+10. Every handbook links the shared vocabulary: README.md, DESIGN.md,
+    and each docs/*.md reference GLOSSARY.md.
 
 Run from anywhere: paths are resolved relative to the repo root. Wired
 into tools/ci.sh; `--self-test` exercises the extraction logic against
@@ -49,8 +61,14 @@ OBSERVABILITY_MD = ROOT / "docs" / "OBSERVABILITY.md"
 SCHEDULER_MD = ROOT / "docs" / "SCHEDULER.md"
 IMPLEMENTATION_MD = ROOT / "docs" / "IMPLEMENTATION.md"
 ANALYSIS_MD = ROOT / "docs" / "ANALYSIS.md"
+SERVER_MD = ROOT / "docs" / "SERVER.md"
+GLOSSARY_MD = ROOT / "docs" / "GLOSSARY.md"
+LANGUAGE_MD = ROOT / "docs" / "LANGUAGE.md"
+DESIGN_MD = ROOT / "DESIGN.md"
 README_MD = ROOT / "README.md"
 FEARLESSC_CPP = ROOT / "tools" / "fearlessc.cpp"
+FEARLESSD_CPP = ROOT / "tools" / "fearlessd.cpp"
+WIRE_CPP = ROOT / "src" / "server" / "Wire.cpp"
 FAULTINJECTOR_CPP = ROOT / "src" / "support" / "FaultInjector.cpp"
 
 # The forEach registration rows: Fn("counter_name", Value);
@@ -77,6 +95,20 @@ POINT_LITERAL_RE = re.compile(r'"([a-z.]+)"')
 # inside the "Fault points" subsection of the robustness docs.
 FAULT_TABLE_HEADING = "### Fault points"
 FAULT_ROW_RE = re.compile(r"^\|\s*`([a-z.]+)`", re.MULTILINE)
+
+# The wire-op vocabulary: the string literals of the OpNames array in
+# src/server/Wire.cpp (the `op` field values of fearless-wire-v1).
+OP_NAMES_RE = re.compile(r"OpNames\[NumWireOps\]\s*=\s*\{(.*?)\}", re.DOTALL)
+OP_LITERAL_RE = re.compile(r'"([a-z_]+)"')
+
+# The four server-side RuntimeMetrics registrations; docs/SERVER.md must
+# name each one (their glossary rows are checks 1-2's job).
+SERVER_COUNTERS = (
+    "sessions_active",
+    "cache_hits",
+    "cache_misses",
+    "requests_rejected",
+)
 
 
 def extract_counters(metrics_src: str) -> set:
@@ -112,15 +144,22 @@ def extract_documented_fault_points(doc: str) -> set:
     return set(FAULT_ROW_RE.findall(section))
 
 
-def extract_documented_flags(doc: str) -> list:
-    """(line_number, flag) for every --flag on a line mentioning fearlessc."""
+def extract_documented_flags(doc: str, binary: str = "fearlessc") -> list:
+    """(line_number, flag) for every --flag on a line mentioning binary."""
     out = []
     for n, line in enumerate(doc.splitlines(), 1):
-        if "fearlessc" not in line:
+        if binary not in line:
             continue
         for flag in FLAG_RE.findall(line):
             out.append((n, flag))
     return out
+
+
+def extract_wire_ops(wire_src: str) -> set:
+    m = OP_NAMES_RE.search(wire_src)
+    if not m:
+        return set()
+    return set(OP_LITERAL_RE.findall(m.group(1)))
 
 
 def self_test() -> int:
@@ -150,6 +189,26 @@ def self_test() -> int:
 
     lines = "run fearlessc with --trace out.json\nunrelated --flag here\n"
     assert extract_documented_flags(lines) == [(1, "trace")]
+    dlines = (
+        "start fearlessd --socket /tmp/s.sock\n"
+        "fearlessc talks to it with --daemon\n"
+    )
+    assert extract_documented_flags(dlines, "fearlessd") == [(1, "socket")]
+    assert extract_documented_flags(dlines) == [(2, "daemon")]
+
+    wire = (
+        "const char *const fearless::server::OpNames[NumWireOps] = {\n"
+        '    "check", "analyze", "run", "metrics", "shutdown",\n'
+        "};\n"
+    )
+    assert extract_wire_ops(wire) == {
+        "check",
+        "analyze",
+        "run",
+        "metrics",
+        "shutdown",
+    }
+    assert extract_wire_ops("no ops here") == set()
 
     injector = (
         "static constexpr const char *PointNames[NumFaultPoints] = {\n"
@@ -193,8 +252,9 @@ def main() -> int:
         return self_test()
 
     for path in (METRICS_CPP, OBSERVABILITY_MD, SCHEDULER_MD, README_MD,
-                 IMPLEMENTATION_MD, ANALYSIS_MD, FEARLESSC_CPP,
-                 FAULTINJECTOR_CPP):
+                 IMPLEMENTATION_MD, ANALYSIS_MD, SERVER_MD, GLOSSARY_MD,
+                 LANGUAGE_MD, DESIGN_MD, FEARLESSC_CPP, FEARLESSD_CPP,
+                 WIRE_CPP, FAULTINJECTOR_CPP):
         if not path.exists():
             print(f"check_docs: missing {path.relative_to(ROOT)}",
                   file=sys.stderr)
@@ -226,12 +286,15 @@ def main() -> int:
 
     accepted = extract_accepted_flags(FEARLESSC_CPP.read_text())
     implementation = IMPLEMENTATION_MD.read_text()
+    readme = README_MD.read_text()
+    server_doc = SERVER_MD.read_text()
     for doc_path, text in (
-        (README_MD, README_MD.read_text()),
+        (README_MD, readme),
         (OBSERVABILITY_MD, observability),
         (SCHEDULER_MD, SCHEDULER_MD.read_text()),
         (IMPLEMENTATION_MD, implementation),
         (ANALYSIS_MD, ANALYSIS_MD.read_text()),
+        (SERVER_MD, server_doc),
     ):
         for line, flag in extract_documented_flags(text):
             if flag not in accepted:
@@ -310,6 +373,84 @@ def main() -> int:
         )
         failures += 1
 
+    # 9: the daemon docs.
+    ops = extract_wire_ops(WIRE_CPP.read_text())
+    if not ops:
+        print(
+            "check_docs: could not extract the OpNames array from "
+            "src/server/Wire.cpp",
+            file=sys.stderr,
+        )
+        failures += 1
+    for op in sorted(ops):
+        if f"`{op}`" not in server_doc:
+            print(
+                f"check_docs: wire op '{op}' is defined in "
+                f"src/server/Wire.cpp but docs/SERVER.md never mentions "
+                f"`{op}`",
+                file=sys.stderr,
+            )
+            failures += 1
+
+    daemon_flags = extract_accepted_flags(FEARLESSD_CPP.read_text())
+    if not daemon_flags:
+        print(
+            "check_docs: could not extract any flags from "
+            "tools/fearlessd.cpp",
+            file=sys.stderr,
+        )
+        failures += 1
+    for flag in sorted(daemon_flags):
+        if f"--{flag}" not in server_doc:
+            print(
+                f"check_docs: fearlessd accepts --{flag} but "
+                f"docs/SERVER.md never documents it",
+                file=sys.stderr,
+            )
+            failures += 1
+    for doc_path, text in (
+        (README_MD, readme),
+        (OBSERVABILITY_MD, observability),
+        (SERVER_MD, server_doc),
+    ):
+        for line, flag in extract_documented_flags(text, "fearlessd"):
+            if flag not in daemon_flags:
+                print(
+                    f"check_docs: {doc_path.relative_to(ROOT)}:{line} "
+                    f"shows 'fearlessd ... --{flag}' but fearlessd does "
+                    f"not accept --{flag}",
+                    file=sys.stderr,
+                )
+                failures += 1
+
+    if "daemon" not in accepted:
+        print(
+            "check_docs: fearlessc does not accept --daemon, but the "
+            "server docs depend on it",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    for name in SERVER_COUNTERS:
+        if name not in server_doc:
+            print(
+                f"check_docs: docs/SERVER.md never mentions the server "
+                f"counter '{name}'",
+                file=sys.stderr,
+            )
+            failures += 1
+
+    # 10: every handbook links the shared vocabulary.
+    for doc_path in (README_MD, DESIGN_MD, LANGUAGE_MD, IMPLEMENTATION_MD,
+                     ANALYSIS_MD, OBSERVABILITY_MD, SCHEDULER_MD, SERVER_MD):
+        if "GLOSSARY" not in doc_path.read_text():
+            print(
+                f"check_docs: {doc_path.relative_to(ROOT)} does not link "
+                f"docs/GLOSSARY.md",
+                file=sys.stderr,
+            )
+            failures += 1
+
     if failures:
         print(f"check_docs: {failures} drift issue(s)", file=sys.stderr)
         return 1
@@ -317,7 +458,9 @@ def main() -> int:
     print(
         f"check_docs: OK ({len(counters)} counters documented, "
         f"{len(accepted)} CLI flags consistent, "
-        f"{len(points)} fault points documented)"
+        f"{len(points)} fault points documented, "
+        f"{len(ops)} wire ops and {len(daemon_flags)} fearlessd flags "
+        f"documented)"
     )
     return 0
 

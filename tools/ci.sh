@@ -8,11 +8,13 @@
 # Local CI gate: a regular build + test pass (followed by a benchmark
 # smoke run — every bench binary must execute to completion; no perf
 # thresholds, that is tools/bench_compare.py's job), a CLI exit-code
-# smoke, a seeded chaos smoke (fault injection under supervision, 8
+# smoke, a fearlessd server smoke (daemon output bit-identical to
+# standalone on every example, warm-cache assertion, draining
+# shutdown), a seeded chaos smoke (fault injection under supervision, 8
 # fixed seeds), a generated-corpus analysis smoke with an
-# interprocedural precision gate, then the same test suite and chaos
-# smoke under ThreadSanitizer plus the corpus smoke under
-# AddressSanitizer. The concurrent runtime (ParallelExec, ChannelSet) is
+# interprocedural precision gate, then the same test suite, server
+# smoke, and chaos smoke under ThreadSanitizer plus the corpus smoke
+# under AddressSanitizer. The concurrent runtime (ParallelExec, ChannelSet) is
 # the part of this repo most likely to rot silently — TSan and chaos
 # keep the "fearless" claim honest.
 #
@@ -157,6 +159,81 @@ run_vm_smoke() {
   echo "    disasm: chunks and folded sites present"
 }
 
+# Server smoke: start fearlessd, drive check/run/metrics/shutdown
+# through `fearlessc --daemon`, and hold the protocol to its contract
+# end to end (docs/SERVER.md): daemon stdout/stderr/exit bit-identical
+# to standalone on every example program (both the cold and the warm,
+# cache-hit path), cache_hits advancing on a repeated request, and a
+# draining shutdown that removes the socket. The socket-level abuse
+# cases (malformed frames, overload) live in tests/server_test.cpp.
+run_server_smoke() {
+  local name="$1" dir="$2"
+  local fc="$dir/tools/fearlessc" fd="$dir/tools/fearlessd"
+  local sock="$dir/ci_server.sock"
+  echo "==> [$name] server smoke (fearlessd + --daemon equivalence)"
+  rm -f "$sock"
+  "$fd" --socket "$sock" --workers 2 &
+  local fd_pid=$!
+  local i
+  for i in $(seq 1 200); do [[ -S "$sock" ]] && break; sleep 0.05; done
+  if [[ ! -S "$sock" ]]; then
+    echo "==> [$name] FAIL: fearlessd never bound $sock" >&2
+    kill "$fd_pid" 2>/dev/null || true
+    exit 1
+  fi
+
+  local f base cmd s_exit d_exit s_out d_out
+  for f in "$ROOT"/examples/*.fls; do
+    base="$(basename "$f")"
+    # Each command twice through the daemon: the first populates the
+    # derivation cache, the second must hit it — and both must be
+    # byte-identical to the standalone run (exit code included).
+    for cmd in "check" "run"; do
+      local -a argv=("$cmd" "$f")
+      [[ "$cmd" == run ]] && argv+=(main)
+      s_exit=0
+      s_out="$("$fc" "${argv[@]}" 2>"$dir/ci_srv_s.err")" || s_exit=$?
+      local pass
+      for pass in cold warm; do
+        d_exit=0
+        d_out="$("$fc" --daemon "$sock" "${argv[@]}" \
+                 2>"$dir/ci_srv_d.err")" || d_exit=$?
+        if [[ "$s_exit" != "$d_exit" || "$s_out" != "$d_out" ]] ||
+           ! cmp -s "$dir/ci_srv_s.err" "$dir/ci_srv_d.err"; then
+          echo "==> [$name] FAIL: daemon/standalone divergence on" \
+               "'$cmd $base' ($pass): exit $s_exit vs $d_exit" >&2
+          kill "$fd_pid" 2>/dev/null || true
+          exit 1
+        fi
+      done
+      echo "    $cmd $base: exit $s_exit, cold == warm == standalone"
+    done
+  done
+
+  "$fc" --daemon "$sock" metrics >"$dir/ci_srv_metrics.json"
+  python3 - "$dir/ci_srv_metrics.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+assert m["cache_misses"] >= 1, m
+assert m["cache_hits"] >= 1, f"warm requests never hit the cache: {m}"
+assert m["requests_rejected"] == 0, m
+print(f"    metrics: cache_hits={m['cache_hits']} "
+      f"cache_misses={m['cache_misses']} (warm path exercised)")
+PYEOF
+
+  "$fc" --daemon "$sock" shutdown >/dev/null
+  wait "$fd_pid" || {
+    echo "==> [$name] FAIL: fearlessd exited nonzero after shutdown" >&2
+    exit 1
+  }
+  if [[ -e "$sock" ]]; then
+    echo "==> [$name] FAIL: socket not removed by draining shutdown" >&2
+    exit 1
+  fi
+  echo "    shutdown: drained, exit 0, socket removed"
+}
+
 # Generated-corpus smoke: tools/gen_corpus.py emits a deterministic
 # multi-function program per (seed, shape); `analyze --json` must accept
 # it in both modes, and the precision gate holds: the interprocedural
@@ -246,6 +323,7 @@ run_analyze "default" "$ROOT/build"
 run_trace_smoke "default" "$ROOT/build"
 run_cli_smoke "default" "$ROOT/build"
 run_vm_smoke "default" "$ROOT/build"
+run_server_smoke "default" "$ROOT/build"
 run_corpus_smoke "default" "$ROOT/build"
 run_sched_smoke "default" "$ROOT/build"
 run_chaos_smoke "default" "$ROOT/build"
@@ -254,6 +332,7 @@ echo "==> [default] bench smoke"
 run_pass "tsan" "$ROOT/build-tsan" -DFEARLESS_SANITIZE=thread
 run_analyze "tsan" "$ROOT/build-tsan"
 run_vm_smoke "tsan" "$ROOT/build-tsan"
+run_server_smoke "tsan" "$ROOT/build-tsan"
 run_sched_smoke "tsan" "$ROOT/build-tsan"
 run_chaos_smoke "tsan" "$ROOT/build-tsan"
 

@@ -19,6 +19,14 @@
 //   fearlessc derive file.fls fn        print fn's typing derivation
 //   fearlessc sample NAME               print an embedded sample program
 //                                       (sll | dll | rbtree | message)
+//   fearlessc metrics                   (--daemon only) daemon metrics
+//   fearlessc shutdown                  (--daemon only) drain the daemon
+//
+// The check/run pipeline itself lives in driver/CompilePipeline.h; this
+// file is argument parsing plus printing. With --daemon SOCKET the same
+// commands are served by a fearlessd instance over fearless-wire-v1
+// (docs/SERVER.md) with bit-identical output — warm submissions skip
+// parse/check/analyze/compile via the daemon's derivation cache.
 //
 // Options: --interprocedural[=on|off] (bottom-up function summaries at
 // call sites, on by default; off restores pure signature havoc), --json
@@ -35,18 +43,20 @@
 // --trace FILE (Chrome trace_event JSON for Perfetto/chrome://tracing;
 // composes with --metrics), --faults SPEC (deterministic fault
 // injection, e.g. "chan.send=nth:3,seed=7"; the FEARLESS_FAULTS env var
-// is the no-flag fallback — see docs/OBSERVABILITY.md).
+// is the no-flag fallback — see docs/OBSERVABILITY.md),
+// --daemon SOCKET (serve the command through a fearlessd instance).
 //
 // Exit codes are distinct per failure class so scripts need not parse
 // messages: 0 ok, 1 generic/internal, 2 usage, 3 parse error, 4
-// check/verify rejection, 5 runtime fault (trap or injected).
+// check/verify rejection, 5 runtime fault (trap or injected), 6 daemon
+// overloaded / shutting down (--daemon only).
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/StaticDisconnect.h"
-#include "concurrency/ParallelExec.h"
+#include "driver/CompilePipeline.h"
 #include "driver/Driver.h"
-#include "runtime/Machine.h"
+#include "server/Client.h"
 #include "support/FaultInjector.h"
 #include "support/Trace.h"
 #include "vm/Compiler.h"
@@ -64,27 +74,13 @@ using namespace fearless;
 namespace {
 
 // Exit codes (documented in docs/OBSERVABILITY.md, "Exit codes").
-constexpr int ExitOk = 0;
 constexpr int ExitError = 1;        // generic / infrastructure
 constexpr int ExitUsage = 2;        // bad invocation (incl. bad --faults)
 constexpr int ExitParse = 3;        // syntax error
-constexpr int ExitCheck = 4;        // region checker / verifier rejection
 constexpr int ExitRuntimeFault = 5; // runtime trap or injected fault
 
 /// Maps a pipeline diagnostic to the CLI exit code for its stage.
-int exitCodeFor(const Diagnostic &D) {
-  switch (D.Stage) {
-  case DiagnosticStage::Parse:
-    return ExitParse;
-  case DiagnosticStage::Check:
-    return ExitCheck;
-  case DiagnosticStage::Runtime:
-    return ExitRuntimeFault;
-  case DiagnosticStage::Unknown:
-    break;
-  }
-  return ExitError;
-}
+int exitCodeFor(const Diagnostic &D) { return exitCodeForStage(D.Stage); }
 
 int usage() {
   std::fprintf(
@@ -99,10 +95,13 @@ int usage() {
       "  derive  <file> <fn>           print fn's typing derivation\n"
       "  dot     <file> <fn>           derivation as a Graphviz digraph\n"
       "  sample  <sll|dll|rbtree|message|trie|extras>  print a sample\n"
+      "  metrics                       --daemon only: lifetime metrics\n"
+      "  shutdown                      --daemon only: drain the daemon\n"
       "options: --interprocedural[=on|off] --json --summaries --werror "
       "--no-oracle --seed N --engine NAME --no-checks "
       "--no-elide --stats "
-      "--metrics --trace FILE --faults SPEC --workers N --sched-seed N\n"
+      "--metrics --trace FILE --faults SPEC --workers N --sched-seed N "
+      "--daemon SOCKET\n"
       "  --interprocedural[=on|off]  bottom-up function summaries at\n"
       "                  call sites (default on; off = signature havoc)\n"
       "  --json          analyze: machine-readable output (schema\n"
@@ -116,8 +115,12 @@ int usage() {
       "  --workers N     run on the parallel executor's M:N task\n"
       "                  scheduler with an N-worker pool (0 = auto)\n"
       "  --sched-seed N  scheduling-decision seed for --workers runs\n"
+      "  --daemon SOCKET serve check/analyze/run/metrics/shutdown\n"
+      "                  through the fearlessd instance at SOCKET\n"
+      "                  (docs/SERVER.md); output is bit-identical to\n"
+      "                  the standalone command\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 parse error, 4 check "
-      "error, 5 runtime fault\n");
+      "error, 5 runtime fault, 6 daemon overloaded/shutting down\n");
   return ExitUsage;
 }
 
@@ -163,7 +166,24 @@ struct Options {
   /// --werror: lint diagnostics make `analyze` exit with the check
   /// error code.
   bool Werror = false;
+  /// --daemon: fearlessd socket path; empty = standalone execution.
+  std::string DaemonSocket;
 };
+
+/// The artifact-level option subset (the derivation-cache key side).
+/// Must mirror the daemon's mapping in Server::handleRequest so a
+/// standalone run and a daemon run of the same invocation build the
+/// same artifact.
+PipelineOptions pipelineOptions(const Options &Opts) {
+  PipelineOptions PO;
+  PO.UseOracle = Opts.UseOracle;
+  PO.Interprocedural = Opts.Interprocedural;
+  PO.Checks = Opts.Checks;
+  PO.Elide = Opts.Elide;
+  PO.EmitChecks = Opts.Checks && !Opts.WorkersSet;
+  PO.Engine = Opts.Engine;
+  return PO;
+}
 
 Expected<Pipeline> compileFile(const char *Path, const Options &Opts) {
   Expected<std::string> Source = readFile(Path);
@@ -174,43 +194,19 @@ Expected<Pipeline> compileFile(const char *Path, const Options &Opts) {
   return compile(*Source, CO);
 }
 
-void printStats(const Pipeline &P) {
-  size_t Virtuals = 0, Unify = 0, Loops = 0;
-  for (const auto &[Name, Fn] : P.Checked.Functions) {
-    (void)Name;
-    Virtuals += Fn.Stats.VirtualSteps;
-    Unify += Fn.Stats.UnifyCandidates;
-    Loops += Fn.Stats.LoopIterations;
-  }
-  std::printf("functions: %zu, virtual transformations: %zu, "
-              "unification candidates: %zu, loop refinements: %zu\n"
-              "verifier: %zu derivation steps (%zu virtual) re-checked\n",
-              P.Checked.Functions.size(), Virtuals, Unify, Loops,
-              P.Verified.StepsChecked, P.Verified.VirtualStepsChecked);
-}
-
 int cmdCheck(const char *Path, const Options &Opts) {
-  Expected<Pipeline> P = compileFile(Path, Opts);
-  if (!P) {
-    std::fprintf(stderr, "%s\n", P.error().render().c_str());
-    return exitCodeFor(P.error());
+  Expected<std::string> Source = readFile(Path);
+  if (!Source) {
+    std::fprintf(stderr, "%s\n", Source.error().render().c_str());
+    return exitCodeFor(Source.error());
   }
-  std::printf("%s: OK (%zu functions)\n", Path,
-              P->Checked.Functions.size());
-  // Checker-integrated warnings: always/never-taken disconnect branches
-  // found by the static region-graph analysis.
-  AnalysisOptions AO;
-  AO.Interprocedural = Opts.Interprocedural;
-  AnalysisReport Report = analyzeProgram(P->Checked, AO);
-  std::vector<AnalysisDiag> Warnings;
-  for (const AnalysisDiag &D : Report.Diags)
-    if (D.Kind == AnalysisDiagKind::DeadBranch ||
-        D.Kind == AnalysisDiagKind::NeverPopulated)
-      Warnings.push_back(D);
-  if (!Warnings.empty())
-    std::printf("%s", renderDiags(Warnings, Path).c_str());
-  if (Opts.Stats)
-    printStats(*P);
+  Expected<std::shared_ptr<const CompiledArtifact>> A =
+      buildArtifact(*Source, pipelineOptions(Opts));
+  if (!A) {
+    std::fprintf(stderr, "%s\n", A.error().render().c_str());
+    return exitCodeFor(A.error());
+  }
+  std::fputs(renderCheckOutput(**A, Path, Opts.Stats).c_str(), stdout);
   return 0;
 }
 
@@ -247,14 +243,26 @@ int cmdAnalyze(const char *Path, const Options &Opts) {
   return analyzeOne(*Source, Path, Opts);
 }
 
+/// The embedded sample programs, keyed by CLI name. Function-local
+/// static on purpose: MessagePassing/Extras point into composite
+/// std::strings built by Driver.cpp's dynamic initializers, so a
+/// namespace-scope array here could capture null pointers depending on
+/// cross-TU static initialization order.
+const std::vector<std::pair<const char *, const char *>> &
+embeddedSamples() {
+  static const std::vector<std::pair<const char *, const char *>> Samples =
+      {{"sll", programs::SllSuite},
+       {"dll", programs::DllSuite},
+       {"rbtree", programs::RedBlackTree},
+       {"message", programs::MessagePassing},
+       {"trie", programs::BitTrie},
+       {"extras", programs::Extras}};
+  return Samples;
+}
+
 int cmdAnalyzeSamples(const Options &Opts) {
-  const std::pair<const char *, const char *> Samples[] = {
-      {"sll", programs::SllSuite},       {"dll", programs::DllSuite},
-      {"rbtree", programs::RedBlackTree}, {"message", programs::MessagePassing},
-      {"trie", programs::BitTrie},       {"extras", programs::Extras},
-  };
   int Rc = 0;
-  for (const auto &[Name, Source] : Samples)
+  for (const auto &[Name, Source] : embeddedSamples())
     Rc |= analyzeOne(Source, Name, Opts);
   return Rc;
 }
@@ -280,65 +288,17 @@ int cmdRun(const char *Path, const char *Fn,
     Faults = std::make_unique<FaultInjector>(*Plan);
   }
 
-  Expected<Pipeline> P = compileFile(Path, Opts);
-  if (!P) {
-    std::fprintf(stderr, "%s\n", P.error().render().c_str());
-    return exitCodeFor(P.error());
+  Expected<std::string> Source = readFile(Path);
+  if (!Source) {
+    std::fprintf(stderr, "%s\n", Source.error().render().c_str());
+    return exitCodeFor(Source.error());
   }
-  Symbol Entry = P->Prog->Names.intern(Fn);
-  const FnDecl *Decl = P->Prog->findFunction(Entry);
-  if (!Decl) {
-    std::fprintf(stderr, "no function '%s'\n", Fn);
-    return 1;
-  }
-  if (Decl->Params.size() != Args.size()) {
-    std::fprintf(stderr, "'%s' takes %zu arguments, got %zu (only int "
-                         "arguments are supported from the CLI)\n",
-                 Fn, Decl->Params.size(), Args.size());
-    return 1;
-  }
-  std::vector<Value> Values;
-  for (size_t I = 0; I < Args.size(); ++I) {
-    if (!(Decl->Params[I].ParamType == Type::intTy())) {
-      std::fprintf(stderr, "parameter %zu of '%s' is not int\n", I, Fn);
-      return 1;
-    }
-    Values.push_back(Value::intVal(Args[I]));
-  }
-  // Static verdicts feed the runtime elision hook by default; --no-elide
-  // restores the always-traverse behavior for comparison.
-  AnalysisOptions AO;
-  AO.Interprocedural = Opts.Interprocedural;
-  AnalysisReport Report = analyzeProgram(P->Checked, AO);
-  DisconnectVerdictTable Verdicts = Report.verdictTable();
-  // The verdict split goes out with --metrics so runs record how much of
-  // the elision the analysis could prove (the engines never see these;
-  // they are compile-time facts).
-  uint64_t MustDiscSites = 0, MustConnSites = 0, UnknownSites = 0;
-  for (const SiteReport &S : Report.Sites) {
-    switch (S.Verdict) {
-    case DisconnectVerdict::MustDisconnected:
-      ++MustDiscSites;
-      break;
-    case DisconnectVerdict::MustConnected:
-      ++MustConnSites;
-      break;
-    case DisconnectVerdict::Unknown:
-      ++UnknownSites;
-      break;
-    }
-  }
-  auto WithAnalysis = [&](RuntimeMetrics M) {
-    M.AnalysisMustDisconnected = MustDiscSites;
-    M.AnalysisMustConnected = MustConnSites;
-    M.AnalysisUnknown = UnknownSites;
-    return M;
-  };
 
   // Tracing: probe the sink *before* the run so an unwritable path is a
   // clean up-front error, not a lost trace after minutes of execution.
   TraceSession Trace;
-  if (!Opts.TracePath.empty()) {
+  bool UseTrace = !Opts.TracePath.empty();
+  if (UseTrace) {
     std::ofstream Probe(Opts.TracePath, std::ios::app);
     if (!Probe) {
       std::fprintf(stderr,
@@ -355,169 +315,59 @@ int cmdRun(const char *Path, const char *Fn,
 #endif
   }
 
-  // --engine=vm (the default): lower the checked program to register
-  // bytecode up front. The Machine path compiles in whatever mode
-  // --no-checks selects, so the checked VM stays a faithful differential
-  // baseline; the workers path always erases (the parallel executors
-  // never run dynamic checks — the checker proved them redundant).
-  Expected<vm::CompiledProgram> VmCode = fail("vm not requested");
-  bool UseVm = Opts.Engine == "vm";
-  if (UseVm) {
-    vm::CompileOptions VO;
-    VO.EmitChecks = !Opts.WorkersSet && Opts.Checks;
-    VO.Verdicts = &Verdicts;
-    VO.ElideDisconnect = Opts.Elide;
-#ifndef NDEBUG
-    VO.CrossCheckElision = true;
-#endif
-    uint64_t CompileStart = 0;
-    TraceBuffer *CompileTB = nullptr;
-    if (!Opts.TracePath.empty()) {
-      CompileTB = &Trace.registerThread(4242, "vm-compiler");
-      CompileStart = CompileTB->now();
-    }
-    VmCode = vm::compileProgram(P->Checked, VO);
-    if (CompileTB)
-      CompileTB->record("vm.compile", "vm", 'X', CompileStart,
-                        CompileTB->now() - CompileStart);
-    if (!VmCode) {
-      std::fprintf(stderr, "%s\n", VmCode.error().render().c_str());
-      return ExitError;
-    }
+  Expected<std::shared_ptr<const CompiledArtifact>> A = buildArtifact(
+      *Source, pipelineOptions(Opts), UseTrace ? &Trace : nullptr);
+  if (!A) {
+    std::fprintf(stderr, "%s\n", A.error().render().c_str());
+    return exitCodeFor(A.error());
   }
 
-  // --workers: hand the entry function to the parallel executor (the
-  // M:N task scheduler; dynamic checks erased, as for any checked
-  // program) instead of the deterministic abstract machine.
-  if (Opts.WorkersSet) {
-    ParallelExecOptions PO;
-    PO.NumWorkers = Opts.Workers;
-    PO.SchedSeed = Opts.SchedSeed;
-    PO.Faults = Faults.get();
-    if (UseVm)
-      PO.VmCode = &*VmCode;
-    if (!Opts.TracePath.empty())
-      PO.Trace = &Trace;
-    ParallelExec Exec(P->Checked, PO);
-    Exec.spawn(Entry, std::move(Values));
-    Expected<std::vector<Value>> R = Exec.run();
-    if (!Opts.TracePath.empty()) {
-      std::string TraceError;
-      if (!Trace.writeChromeJson(Opts.TracePath, TraceError)) {
-        std::fprintf(stderr, "fearlessc: %s\n", TraceError.c_str());
-        return ExitError;
-      }
-    }
-    if (!R) {
-      std::fprintf(stderr, "%s\n", R.error().render().c_str());
-      if (Opts.Metrics)
-        std::printf("%s\n", WithAnalysis(Exec.metrics()).toJson().c_str());
-      return Exec.metrics().FaultsEscalated ? ExitRuntimeFault
-                                            : ExitError;
-    }
-    std::printf("%s(...) = %s\n", Fn, toString((*R)[0]).c_str());
-    if (Opts.Metrics)
-      std::printf("%s\n", WithAnalysis(Exec.metrics()).toJson().c_str());
-    return 0;
-  }
+  RunSpec Spec;
+  Spec.Fn = Fn;
+  Spec.Args = Args;
+  Spec.Seed = Opts.Seed;
+  Spec.Workers = Opts.Workers;
+  Spec.WorkersSet = Opts.WorkersSet;
+  Spec.SchedSeed = Opts.SchedSeed;
+  Spec.Stats = Opts.Stats;
+  Spec.Metrics = Opts.Metrics;
+  Spec.Faults = Faults.get();
+  Spec.Trace = UseTrace ? &Trace : nullptr;
+  RunOutcome O = runArtifact(**A, Spec);
 
-  MachineOptions MO;
-  MO.CheckReservations = Opts.Checks;
-  MO.StaticVerdicts = &Verdicts;
-  MO.ElideDisconnect = Opts.Elide;
-  MO.Faults = Faults.get();
-  if (UseVm)
-    MO.VmCode = &*VmCode;
-  if (!Opts.TracePath.empty())
-    MO.Trace = &Trace;
-  Machine M(P->Checked, MO);
-  std::vector<Value> InterpValues = Values; // for the debug cross-check
-  M.spawn(Entry, std::move(Values));
-  Expected<MachineSummary> R = M.run(Opts.Seed);
-
-#ifndef NDEBUG
-  // Debug builds: re-run the VM result through the tree-walking
-  // interpreter and fail loudly on divergence — the two engines are
-  // differential oracles for each other. Skipped under fault injection
-  // (the injector's triggers are stateful and would fire differently on
-  // the second run).
-  if (UseVm && R && !Faults) {
-    MachineOptions IO = MO;
-    IO.VmCode = nullptr;
-    IO.Trace = nullptr;
-    Machine IM(P->Checked, IO);
-    IM.spawn(Entry, std::move(InterpValues));
-    Expected<MachineSummary> IR = IM.run(Opts.Seed);
-    if (!IR || !(IR->ThreadResults[0] == R->ThreadResults[0])) {
-      std::fprintf(stderr,
-                   "fearlessc: engine divergence: vm produced %s, "
-                   "interpreter produced %s\n",
-                   toString(R->ThreadResults[0]).c_str(),
-                   IR ? toString(IR->ThreadResults[0]).c_str()
-                      : IR.error().render().c_str());
-      return ExitError;
-    }
-  }
-#endif
   // Write whatever was traced even when the run fails — a trace of the
   // failing run is exactly what the flag is for.
-  if (!Opts.TracePath.empty()) {
+  if (UseTrace) {
     std::string TraceError;
     if (!Trace.writeChromeJson(Opts.TracePath, TraceError)) {
       std::fprintf(stderr, "fearlessc: %s\n", TraceError.c_str());
       return ExitError;
     }
   }
-  if (!R) {
-    // A structured fault (runtime trap or injection) gets the dedicated
-    // diagnostic and exit code; other failures (deadlock, violation,
-    // step limit) stay generic.
-    if (M.lastFault()) {
-      std::fprintf(stderr, "fearlessc: %s\n",
-                   M.lastFault()->render().c_str());
-      if (Opts.Metrics)
-        std::printf("%s\n", WithAnalysis(M.metrics()).toJson().c_str());
-      return ExitRuntimeFault;
-    }
-    std::fprintf(stderr, "%s\n", R.error().render().c_str());
-    return ExitError;
-  }
-  std::printf("%s(...) = %s\n", Fn,
-              toString(R->ThreadResults[0]).c_str());
-  if (Opts.Stats)
-    std::printf("steps: %llu, reservation checks: %llu, allocations: "
-                "%llu, disconnect checks: %llu\n",
-                static_cast<unsigned long long>(R->Steps),
-                static_cast<unsigned long long>(
-                    M.stats().ReservationChecks),
-                static_cast<unsigned long long>(M.stats().Allocations),
-                static_cast<unsigned long long>(
-                    M.stats().DisconnectChecks));
-  if (Opts.Metrics)
-    std::printf("%s\n", WithAnalysis(M.metrics()).toJson().c_str());
-  return 0;
+  std::fputs(O.Out.c_str(), stdout);
+  std::fputs(O.Err.c_str(), stderr);
+  return O.Exit;
 }
 
 int cmdDisasm(const char *Path, const Options &Opts) {
-  Expected<Pipeline> P = compileFile(Path, Opts);
-  if (!P) {
-    std::fprintf(stderr, "%s\n", P.error().render().c_str());
-    return exitCodeFor(P.error());
+  Expected<std::string> Source = readFile(Path);
+  if (!Source) {
+    std::fprintf(stderr, "%s\n", Source.error().render().c_str());
+    return exitCodeFor(Source.error());
   }
-  AnalysisOptions AO;
-  AO.Interprocedural = Opts.Interprocedural;
-  AnalysisReport Report = analyzeProgram(P->Checked, AO);
-  DisconnectVerdictTable Verdicts = Report.verdictTable();
-  vm::CompileOptions VO;
-  VO.EmitChecks = Opts.Checks;
-  VO.Verdicts = &Verdicts;
-  VO.ElideDisconnect = Opts.Elide;
-  Expected<vm::CompiledProgram> Code = vm::compileProgram(P->Checked, VO);
-  if (!Code) {
-    std::fprintf(stderr, "%s\n", Code.error().render().c_str());
-    return ExitError;
+  PipelineOptions PO = pipelineOptions(Opts);
+  // Disassembly always shows the bytecode with the checks --no-checks
+  // controls, independent of --workers.
+  PO.Engine = "vm";
+  PO.EmitChecks = Opts.Checks;
+  Expected<std::shared_ptr<const CompiledArtifact>> A =
+      buildArtifact(*Source, PO);
+  if (!A) {
+    std::fprintf(stderr, "%s\n", A.error().render().c_str());
+    return exitCodeFor(A.error());
   }
-  std::fputs(vm::disassemble(*Code, P->Checked).c_str(), stdout);
+  std::fputs(vm::disassemble(*(*A)->VmCode, (*A)->P.Checked).c_str(),
+             stdout);
   return 0;
 }
 
@@ -571,18 +421,9 @@ int cmdDot(const char *Path, const char *Fn, const Options &Opts) {
 
 int cmdSample(const char *Name) {
   const char *Source = nullptr;
-  if (!std::strcmp(Name, "sll"))
-    Source = programs::SllSuite;
-  else if (!std::strcmp(Name, "dll"))
-    Source = programs::DllSuite;
-  else if (!std::strcmp(Name, "rbtree"))
-    Source = programs::RedBlackTree;
-  else if (!std::strcmp(Name, "message"))
-    Source = programs::MessagePassing;
-  else if (!std::strcmp(Name, "trie"))
-    Source = programs::BitTrie;
-  else if (!std::strcmp(Name, "extras"))
-    Source = programs::Extras;
+  for (const auto &[SName, SSource] : embeddedSamples())
+    if (!std::strcmp(Name, SName))
+      Source = SSource;
   if (!Source) {
     std::fprintf(stderr, "unknown sample '%s' (try sll, dll, rbtree, "
                          "message, trie, extras)\n",
@@ -591,6 +432,135 @@ int cmdSample(const char *Name) {
   }
   std::fputs(Source, stdout);
   return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// --daemon client mode
+//===----------------------------------------------------------------------===//
+
+/// Prints a daemon response the way the standalone command would have:
+/// the exact stdout/stderr bytes, or a synthesized diagnostic for
+/// protocol-level errors (overloaded, shutting_down, bad_request — which
+/// carry no output of their own).
+int printResponse(const server::WireResponse &R) {
+  if (!R.Out.empty())
+    std::fputs(R.Out.c_str(), stdout);
+  if (!R.Err.empty())
+    std::fputs(R.Err.c_str(), stderr);
+  if (!R.Ok && R.Out.empty() && R.Err.empty())
+    std::fprintf(stderr, "fearlessc: daemon: %s: %s\n",
+                 R.ErrorCode.c_str(), R.ErrorMessage.c_str());
+  return R.Exit;
+}
+
+/// Fills the wire request's option block from the parsed CLI options —
+/// the client-side half of the standalone/daemon equivalence.
+server::WireRequest baseRequest(const Options &Opts) {
+  server::WireRequest R;
+  R.Oracle = Opts.UseOracle;
+  R.Interprocedural = Opts.Interprocedural;
+  R.Checks = Opts.Checks;
+  R.Elide = Opts.Elide;
+  R.Engine = Opts.Engine;
+  R.Seed = Opts.Seed;
+  R.Stats = Opts.Stats;
+  R.Metrics = Opts.Metrics;
+  R.Workers = Opts.WorkersSet ? static_cast<int64_t>(Opts.Workers) : -1;
+  R.SchedSeed = Opts.SchedSeed;
+  R.Json = Opts.Json;
+  R.Summaries = Opts.DumpSummaries;
+  R.Werror = Opts.Werror;
+  return R;
+}
+
+int cmdDaemon(const std::vector<const char *> &Positional,
+              const Options &Opts) {
+  if (!Opts.TracePath.empty() || Opts.FaultSpecSet) {
+    std::fprintf(stderr, "fearlessc: --trace and --faults are local "
+                         "debugging hooks; they do not compose with "
+                         "--daemon\n");
+    return ExitUsage;
+  }
+  const char *Cmd = Positional[0];
+  server::WireClient Client;
+  if (ExpectedVoid C = Client.connect(Opts.DaemonSocket); !C) {
+    std::fprintf(stderr, "fearlessc: %s\n",
+                 C.error().Message.c_str());
+    return ExitError;
+  }
+  auto roundTrip = [&](const server::WireRequest &R) {
+    Expected<server::WireResponse> Resp = Client.request(R);
+    if (!Resp) {
+      std::fprintf(stderr, "fearlessc: %s\n",
+                   Resp.error().Message.c_str());
+      return ExitError;
+    }
+    return printResponse(*Resp);
+  };
+
+  if (!std::strcmp(Cmd, "metrics") && Positional.size() == 1) {
+    server::WireRequest R = baseRequest(Opts);
+    R.Op = server::WireOp::Metrics;
+    return roundTrip(R);
+  }
+  if (!std::strcmp(Cmd, "shutdown") && Positional.size() == 1) {
+    server::WireRequest R = baseRequest(Opts);
+    R.Op = server::WireOp::Shutdown;
+    return roundTrip(R);
+  }
+  if (!std::strcmp(Cmd, "check") && Positional.size() == 2) {
+    Expected<std::string> Source = readFile(Positional[1]);
+    if (!Source) {
+      std::fprintf(stderr, "%s\n", Source.error().render().c_str());
+      return exitCodeFor(Source.error());
+    }
+    server::WireRequest R = baseRequest(Opts);
+    R.Op = server::WireOp::Check;
+    R.Name = Positional[1];
+    R.Source = Source.take();
+    return roundTrip(R);
+  }
+  if (!std::strcmp(Cmd, "analyze") && Positional.size() == 2) {
+    if (!std::strcmp(Positional[1], "--samples")) {
+      // Mirrors cmdAnalyzeSamples: one request per embedded sample on
+      // the same connection, exit codes OR-ed.
+      int Rc = 0;
+      for (const auto &[Name, Text] : embeddedSamples()) {
+        server::WireRequest R = baseRequest(Opts);
+        R.Op = server::WireOp::Analyze;
+        R.Name = Name;
+        R.Source = Text;
+        Rc |= roundTrip(R);
+      }
+      return Rc;
+    }
+    Expected<std::string> Source = readFile(Positional[1]);
+    if (!Source) {
+      std::fprintf(stderr, "%s\n", Source.error().render().c_str());
+      return 1;
+    }
+    server::WireRequest R = baseRequest(Opts);
+    R.Op = server::WireOp::Analyze;
+    R.Name = Positional[1];
+    R.Source = Source.take();
+    return roundTrip(R);
+  }
+  if (!std::strcmp(Cmd, "run") && Positional.size() >= 3) {
+    Expected<std::string> Source = readFile(Positional[1]);
+    if (!Source) {
+      std::fprintf(stderr, "%s\n", Source.error().render().c_str());
+      return exitCodeFor(Source.error());
+    }
+    server::WireRequest R = baseRequest(Opts);
+    R.Op = server::WireOp::Run;
+    R.Name = Positional[1];
+    R.Source = Source.take();
+    R.Fn = Positional[2];
+    for (size_t I = 3; I < Positional.size(); ++I)
+      R.Args.push_back(std::strtoll(Positional[I], nullptr, 10));
+    return roundTrip(R);
+  }
+  return usage();
 }
 
 } // namespace
@@ -649,6 +619,8 @@ int main(int argc, char **argv) {
       Opts.Engine = argv[++I];
     else if (!std::strncmp(argv[I], "--engine=", 9))
       Opts.Engine = argv[I] + 9;
+    else if (!std::strcmp(argv[I], "--daemon") && I + 1 < argc)
+      Opts.DaemonSocket = argv[++I];
     else
       Positional.push_back(argv[I]);
   }
@@ -660,6 +632,9 @@ int main(int argc, char **argv) {
   }
   if (Positional.empty())
     return usage();
+
+  if (!Opts.DaemonSocket.empty())
+    return cmdDaemon(Positional, Opts);
 
   const char *Cmd = Positional[0];
   if (!std::strcmp(Cmd, "check") && Positional.size() == 2)
