@@ -6,7 +6,33 @@
 
 #include "concurrency/Scheduler.h"
 
+#include "mc/Replay.h"
+
+#include <cstdio>
+#include <unistd.h>
+
 using namespace fearless;
+
+namespace {
+
+/// Writes the failing seed's recorded schedule next to the temp files so
+/// the failure replays from a file (`fearlessc run --schedule`) instead
+/// of depending on the seed logic never changing. Best-effort: a
+/// write failure falls back to reporting just the seed.
+std::string writeFailingSchedule(const mc::Schedule &Sched, size_t Seed,
+                                 const std::string &Why) {
+  mc::Schedule Out = Sched;
+  Out.Comments.push_back("schedule seed " + std::to_string(Seed));
+  Out.Comments.push_back(Why);
+  std::string Path = "/tmp/fearless-schedule-" +
+                     std::to_string(::getpid()) + "-seed" +
+                     std::to_string(Seed) + ".sched";
+  if (!Out.writeFile(Path))
+    return "";
+  return Path;
+}
+
+} // namespace
 
 Expected<ScheduleReport> fearless::exploreSchedules(
     const std::function<std::unique_ptr<Machine>()> &Factory,
@@ -16,14 +42,24 @@ Expected<ScheduleReport> fearless::exploreSchedules(
   ScheduleReport Report;
   for (size_t Seed = 0; Seed < NumSeeds; ++Seed) {
     std::unique_ptr<Machine> M = Factory();
-    Expected<MachineSummary> Summary = M->run(Seed);
+    // Record the branching choices while reproducing run(Seed)'s
+    // interleaving exactly, so a failure ships with a replayable
+    // schedule file, not just a seed.
+    mc::Schedule Sched;
+    Expected<MachineSummary> Summary = mc::runRecording(*M, Seed, Sched);
+    auto FailWith = [&](const std::string &Why) {
+      std::string Msg =
+          "schedule seed " + std::to_string(Seed) + ": " + Why;
+      std::string Path = writeFailingSchedule(Sched, Seed, Why);
+      if (!Path.empty())
+        Msg += " (replayable schedule written to " + Path + ")";
+      return fail(Msg);
+    };
     if (!Summary)
-      return fail("schedule seed " + std::to_string(Seed) + ": " +
-                  Summary.error().Message);
+      return FailWith(Summary.error().Message);
     if (Validate) {
       if (auto Problem = Validate(*M, *Summary))
-        return fail("schedule seed " + std::to_string(Seed) +
-                    " violated a property: " + *Problem);
+        return FailWith("violated a property: " + *Problem);
     }
     ++Report.RunsExecuted;
   }

@@ -7,6 +7,7 @@
 #include "driver/CompilePipeline.h"
 
 #include "concurrency/ParallelExec.h"
+#include "mc/Replay.h"
 #include "runtime/Machine.h"
 #include "support/FaultInjector.h"
 #include "support/Trace.h"
@@ -157,30 +158,54 @@ RunOutcome fearless::runArtifact(const CompiledArtifact &A,
   RunOutcome O;
   const Pipeline &P = A.P;
 
-  Symbol Entry = P.Prog->Names.intern(Spec.Fn);
-  const FnDecl *Decl = P.Prog->findFunction(Entry);
-  if (!Decl) {
-    O.Err = "no function '" + Spec.Fn + "'\n";
-    O.Exit = 1;
-    return O;
-  }
-  if (Decl->Params.size() != Spec.Args.size()) {
-    O.Err = "'" + Spec.Fn + "' takes " +
-            std::to_string(Decl->Params.size()) + " arguments, got " +
-            std::to_string(Spec.Args.size()) +
-            " (only int arguments are supported from the CLI)\n";
-    O.Exit = 1;
-    return O;
-  }
-  std::vector<Value> Values;
-  for (size_t I = 0; I < Spec.Args.size(); ++I) {
-    if (!(Decl->Params[I].ParamType == Type::intTy())) {
-      O.Err = "parameter " + std::to_string(I) + " of '" + Spec.Fn +
-              "' is not int\n";
+  // Entry and --spawn functions share the same lookup and int-argument
+  // validation.
+  auto ResolveCall = [&](const std::string &Fn,
+                         const std::vector<int64_t> &Args, Symbol &SymOut,
+                         std::vector<Value> &ValuesOut) -> bool {
+    SymOut = P.Prog->Names.intern(Fn);
+    const FnDecl *Decl = P.Prog->findFunction(SymOut);
+    if (!Decl) {
+      O.Err = "no function '" + Fn + "'\n";
       O.Exit = 1;
-      return O;
+      return false;
     }
-    Values.push_back(Value::intVal(Spec.Args[I]));
+    if (Decl->Params.size() != Args.size()) {
+      O.Err = "'" + Fn + "' takes " + std::to_string(Decl->Params.size()) +
+              " arguments, got " + std::to_string(Args.size()) +
+              " (only int arguments are supported from the CLI)\n";
+      O.Exit = 1;
+      return false;
+    }
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (!(Decl->Params[I].ParamType == Type::intTy())) {
+        O.Err = "parameter " + std::to_string(I) + " of '" + Fn +
+                "' is not int\n";
+        O.Exit = 1;
+        return false;
+      }
+      ValuesOut.push_back(Value::intVal(Args[I]));
+    }
+    return true;
+  };
+
+  Symbol Entry;
+  std::vector<Value> Values;
+  if (!ResolveCall(Spec.Fn, Spec.Args, Entry, Values))
+    return O;
+  std::vector<std::pair<Symbol, std::vector<Value>>> ExtraSpawns;
+  for (const auto &[Fn, Args] : Spec.Spawns) {
+    Symbol S;
+    std::vector<Value> V;
+    if (!ResolveCall(Fn, Args, S, V))
+      return O;
+    ExtraSpawns.emplace_back(S, std::move(V));
+  }
+  if (Spec.WorkersSet && (!Spec.Spawns.empty() || Spec.Schedule)) {
+    O.Err = "--spawn and --schedule drive the deterministic machine and "
+            "cannot combine with --workers\n";
+    O.Exit = 2;
+    return O;
   }
 
   // The verdict split goes out with --metrics so runs record how much of
@@ -234,15 +259,23 @@ RunOutcome fearless::runArtifact(const CompiledArtifact &A,
   Machine M(P.Checked, MO);
   std::vector<Value> InterpValues = Values; // for the debug cross-check
   M.spawn(Entry, std::move(Values));
-  Expected<MachineSummary> R = M.run(Spec.Seed);
+  for (auto &[S, V] : ExtraSpawns)
+    M.spawn(S, std::move(V));
+  Expected<MachineSummary> R =
+      Spec.Schedule ? mc::runSchedule(M, *Spec.Schedule)
+                    : M.run(Spec.Seed);
 
 #ifndef NDEBUG
   // Debug builds: re-run the VM result through the tree-walking
   // interpreter and fail loudly on divergence — the two engines are
   // differential oracles for each other. Skipped under fault injection
   // (the injector's triggers are stateful and would fire differently on
-  // the second run).
-  if (UseVm && R && !Spec.Faults) {
+  // the second run) and under --spawn/--schedule (the engines batch
+  // decision points differently, so a recorded schedule only replays on
+  // the engine that recorded it, and multi-root results are
+  // schedule-relative).
+  if (UseVm && R && !Spec.Faults && !Spec.Schedule &&
+      ExtraSpawns.empty()) {
     MachineOptions IO = MO;
     IO.VmCode = nullptr;
     IO.Trace = nullptr;
@@ -279,6 +312,10 @@ RunOutcome fearless::runArtifact(const CompiledArtifact &A,
     return O;
   }
   O.Out = Spec.Fn + "(...) = " + toString(R->ThreadResults[0]) + "\n";
+  for (size_t I = 0; I < Spec.Spawns.size(); ++I)
+    if (I + 1 < R->ThreadResults.size())
+      O.Out += Spec.Spawns[I].first + "(...) = " +
+               toString(R->ThreadResults[I + 1]) + "\n";
   if (Spec.Stats) {
     char Buf[256];
     std::snprintf(Buf, sizeof(Buf),

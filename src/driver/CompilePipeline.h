@@ -41,6 +41,9 @@ namespace fearless {
 
 class FaultInjector;
 class TraceSession;
+namespace mc {
+struct Schedule;
+}
 
 /// Everything that changes what buildArtifact produces. The fingerprint
 /// joins the source hash in the derivation-cache key, so two requests
@@ -122,6 +125,14 @@ struct RunSpec {
   FaultInjector *Faults = nullptr;
   /// Structured tracing for the execution engines; null = disabled.
   TraceSession *Trace = nullptr;
+  /// Extra threads spawned alongside the entry (--spawn FN[:a,b,...],
+  /// repeatable, in order). Machine mode only: this is how the CLI puts
+  /// several root threads into the deterministic machine so `mc` and
+  /// `run --schedule` have a schedule space to explore.
+  std::vector<std::pair<std::string, std::vector<int64_t>>> Spawns;
+  /// Replay a recorded schedule (--schedule FILE) instead of seeding the
+  /// machine's own picker. Machine mode only; must outlive the call.
+  const mc::Schedule *Schedule = nullptr;
 };
 
 /// One executed request: the exact bytes the CLI would print to stdout

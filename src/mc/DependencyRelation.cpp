@@ -1,0 +1,33 @@
+//===- mc/DependencyRelation.cpp ------------------------------------------===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/DependencyRelation.h"
+
+using namespace fearless;
+using namespace fearless::mc;
+
+static bool isComm(const McStepRecord &R) {
+  switch (R.StepKind) {
+  case McStepRecord::Kind::BlockSend:
+  case McStepRecord::Kind::BlockRecv:
+  case McStepRecord::Kind::CommPair:
+    return true;
+  case McStepRecord::Kind::Local:
+  case McStepRecord::Kind::Finish:
+    return false;
+  }
+  return false;
+}
+
+bool mc::dependent(const McStepRecord &A, const McStepRecord &B) {
+  if (A.Thread == B.Thread)
+    return true;
+  if (A.FaultPointsTouched & B.FaultPointsTouched)
+    return true;
+  if (isComm(A) && isComm(B) && A.CommType == B.CommType)
+    return true;
+  return false;
+}

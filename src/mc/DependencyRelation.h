@@ -1,0 +1,48 @@
+//===- mc/DependencyRelation.h - Step commutativity -------------*- C++ -*-===//
+//
+// Part of the fearless-concurrency reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static dependency relation the DPOR pruning is built on: two
+/// steps of different threads commute (swapping adjacent occurrences
+/// reaches the same state up to heap-location renaming) unless
+///
+///   * both are communication steps with the same rendezvous type τ —
+///     pairing is type-routed, so τ *is* the channel identity, and two
+///     comm steps on the same τ can steal each other's partner; or
+///   * both advanced the occurrence counter of the same armed fault
+///     point — the injector's nth/every-k triggers are global
+///     occurrence-indexed state, so ordering decides which step faults.
+///
+/// Everything else a step touches is thread-local: the environment,
+/// stack, continuation, and — because the checker proves reservations
+/// disjoint (§6) — the objects it reads and writes. Heap *allocation*
+/// order does differ across interleavings, which is why commutativity
+/// is stated up to location renaming; every property the model checker
+/// evaluates (deadlock, stuck thread, reservation disjointness, the
+/// canonical result fingerprint) is renaming-invariant, so the
+/// quotient is sound for them. The disjointness premise itself is
+/// discharged by the checks-on invariant validator that runs at every
+/// explored step (docs/MODELCHECK.md spells out the argument), and
+/// `--mc-dpor=off` removes the pruning entirely for paranoia runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FEARLESS_MC_DEPENDENCYRELATION_H
+#define FEARLESS_MC_DEPENDENCYRELATION_H
+
+#include "runtime/Machine.h"
+
+namespace fearless {
+namespace mc {
+
+/// True when \p A and \p B may not be reordered: same thread (program
+/// order), same rendezvous type, or same armed fault point.
+bool dependent(const McStepRecord &A, const McStepRecord &B);
+
+} // namespace mc
+} // namespace fearless
+
+#endif // FEARLESS_MC_DEPENDENCYRELATION_H

@@ -9,6 +9,8 @@
 #include "vm/Bytecode.h"
 
 #include <cassert>
+#include <functional>
+#include <unordered_map>
 
 using namespace fearless;
 
@@ -176,37 +178,52 @@ RuntimeMetrics Machine::metrics() const {
   return M;
 }
 
-Expected<MachineSummary> Machine::run(uint64_t Seed) {
+bool Machine::communicate(std::string &Error) {
+  // EC3 pairing walks the heap (live-set transfer), so it can trap on an
+  // invalid location just like a step; catch at the same frontier and
+  // surface the typed fault instead of dying.
+  try {
+    return tryCommunicate(Error);
+  } catch (const RuntimeFaultError &E) {
+    LastFault = E.Fault;
+    Error = E.Fault.render();
+    return false;
+  }
+}
+
+ExpectedVoid Machine::beginStepping() {
   LastFault.reset();
+  Stepping.emplace();
+  SteppingState &S = *Stepping;
+
   // Tracing: one buffer per language thread (tid = thread id + 1; the
   // machine itself is tid 0). The machine is single-OS-threaded, so the
   // single-writer rule holds trivially for every buffer.
-  TraceBuffer *TraceCtl = nullptr;
   if (Opts.Trace) {
-    TraceCtl = &Opts.Trace->registerThread(0, "machine");
+    S.TraceCtl = &Opts.Trace->registerThread(0, "machine");
     for (ThreadState &T : Threads)
       if (!T.Trace)
         T.Trace = &Opts.Trace->registerThread(T.Id + 1, "lang-thread");
   }
-  uint64_t TraceRunStart = TraceCtl ? TraceCtl->now() : 0;
+  S.TraceRunStart = S.TraceCtl ? S.TraceCtl->now() : 0;
 
-  InterpServices Services;
-  Services.TheHeap = &TheHeap;
-  Services.Prog = Checked.Prog;
-  Services.Stats = &Stats;
-  Services.SendTypes = &Checked.SendTypes;
-  Services.CheckReservations = Opts.CheckReservations;
-  Services.UseNaiveDisconnect = Opts.UseNaiveDisconnect;
-  Services.StaticVerdicts = Opts.StaticVerdicts;
-  Services.ElideDisconnect = Opts.ElideDisconnect;
-  Services.CrossCheckElision = Opts.CrossCheckElision;
-  Services.Faults = Opts.Faults;
-  Services.VmCode = Opts.VmCode;
+  S.Services.TheHeap = &TheHeap;
+  S.Services.Prog = Checked.Prog;
+  S.Services.Stats = &Stats;
+  S.Services.SendTypes = &Checked.SendTypes;
+  S.Services.CheckReservations = Opts.CheckReservations;
+  S.Services.UseNaiveDisconnect = Opts.UseNaiveDisconnect;
+  S.Services.StaticVerdicts = Opts.StaticVerdicts;
+  S.Services.ElideDisconnect = Opts.ElideDisconnect;
+  S.Services.CrossCheckElision = Opts.CrossCheckElision;
+  S.Services.Faults = Opts.Faults;
+  S.Services.VmCode = Opts.VmCode;
 
   // Fault points the interpreter cannot see: thread.start fires once per
   // started thread (before its first step), sched.step per scheduler
-  // pulse below. The machine has no supervision — an injected fault here
-  // fails the run with a typed diagnostic (exit-code 5 on the CLI).
+  // pulse in stepChosen. The machine has no supervision — an injected
+  // fault here fails the run with a typed diagnostic (exit-code 5 on the
+  // CLI).
   if (Opts.Faults) {
     for (ThreadState &T : Threads) {
       if (T.Status == ThreadStatus::Finished)
@@ -221,6 +238,239 @@ Expected<MachineSummary> Machine::run(uint64_t Seed) {
       }
     }
   }
+  return {};
+}
+
+Expected<MachineProgress> Machine::checkProgress() {
+  assert(Stepping && "checkProgress outside a stepping session");
+  SteppingState &S = *Stepping;
+  while (true) {
+    S.Runnable.clear();
+    bool AllFinished = true;
+    for (size_t I = 0; I < Threads.size(); ++I) {
+      if (Threads[I].Status == ThreadStatus::Runnable)
+        S.Runnable.push_back(I);
+      if (Threads[I].Status != ThreadStatus::Finished)
+        AllFinished = false;
+    }
+    if (AllFinished)
+      return MachineProgress::Done;
+    if (!S.Runnable.empty())
+      return MachineProgress::Running;
+    // No runnable thread: try pairing communication (defensive — pairing
+    // is eager after every blocking step); otherwise deadlock.
+    std::string Error;
+    if (communicate(Error))
+      continue;
+    if (!Error.empty())
+      return fail(Error);
+    return MachineProgress::Deadlock;
+  }
+}
+
+const std::vector<size_t> &Machine::runnableThreads() const {
+  assert(Stepping && "runnableThreads outside a stepping session");
+  return Stepping->Runnable;
+}
+
+Expected<McStepRecord> Machine::stepChosen(size_t Pick) {
+  assert(Stepping && "stepChosen outside a stepping session");
+  SteppingState &S = *Stepping;
+  assert(Pick < Threads.size() && "bad thread index");
+  ThreadState &T = Threads[Pick];
+  assert(T.Status == ThreadStatus::Runnable &&
+         "stepping a non-runnable thread");
+
+  McStepRecord Rec;
+  Rec.Thread = T.Id;
+  uint64_t FaultOcc[NumFaultPoints] = {};
+  if (Opts.Faults)
+    for (size_t I = 0; I < NumFaultPoints; ++I)
+      FaultOcc[I] = Opts.Faults->occurrences(static_cast<FaultPoint>(I));
+  auto StampFaults = [&] {
+    if (!Opts.Faults)
+      return;
+    for (size_t I = 0; I < NumFaultPoints; ++I)
+      if (Opts.Faults->occurrences(static_cast<FaultPoint>(I)) !=
+          FaultOcc[I])
+        Rec.FaultPointsTouched |= 1u << I;
+  };
+
+  if (Opts.Faults && Opts.Faults->shouldFire(FaultPoint::SchedStep)) {
+    RuntimeFault F;
+    F.Kind = RuntimeFaultKind::Injected;
+    F.Detail = static_cast<uint32_t>(FaultPoint::SchedStep);
+    F.Thread = T.Id;
+    LastFault = F;
+    return fail(F.render());
+  }
+  StepOutcome Out = stepThread(T, S.Services);
+  ++S.Steps;
+  if (Opts.StepValidator) {
+    if (auto Problem = Opts.StepValidator(*this))
+      return fail("step validator failed after step " +
+                  std::to_string(S.Steps) + ": " + *Problem);
+  }
+  if (S.Steps > Opts.MaxSteps)
+    return fail("machine exceeded the step limit");
+  switch (Out) {
+  case StepOutcome::Progress:
+    Rec.StepKind = McStepRecord::Kind::Local;
+    break;
+  case StepOutcome::Finished:
+    Rec.StepKind = McStepRecord::Kind::Finish;
+    break;
+  case StepOutcome::BlockedSend:
+  case StepOutcome::BlockedRecv: {
+    Rec.StepKind = Out == StepOutcome::BlockedSend
+                       ? McStepRecord::Kind::BlockSend
+                       : McStepRecord::Kind::BlockRecv;
+    Rec.HasCommType = true;
+    Rec.CommType = T.CommType;
+    // Eager pairing. Any pre-existing send/recv pair would already have
+    // been paired, so a successful pairing here involves T; the partner
+    // is the other thread that went blocked → runnable.
+    S.StatusScratch.clear();
+    for (const ThreadState &X : Threads)
+      S.StatusScratch.push_back(X.Status);
+    std::string Error;
+    if (communicate(Error)) {
+      Rec.StepKind = McStepRecord::Kind::CommPair;
+      for (size_t I = 0; I < Threads.size(); ++I)
+        if (I != Pick && S.StatusScratch[I] != Threads[I].Status &&
+            Threads[I].Status == ThreadStatus::Runnable)
+          Rec.Partner = Threads[I].Id;
+    }
+    if (!Error.empty()) {
+      StampFaults();
+      return fail(Error);
+    }
+    break;
+  }
+  case StepOutcome::Stuck:
+    if (T.Fault)
+      LastFault = T.Fault;
+    StampFaults();
+    return fail("thread " + std::to_string(T.Id) + " is stuck: " +
+                T.Error);
+  }
+  StampFaults();
+  return Rec;
+}
+
+Expected<MachineSummary> Machine::finishStepping() {
+  assert(Stepping && "finishStepping outside a stepping session");
+  SteppingState &S = *Stepping;
+  MachineSummary Summary;
+  Summary.Steps = S.Steps;
+  for (const ThreadState &T : Threads)
+    Summary.ThreadResults.push_back(T.Result);
+  Stats.Steps = S.Steps;
+  if (S.TraceCtl)
+    S.TraceCtl->record("machine.run", "machine", 'X', S.TraceRunStart,
+                       S.TraceCtl->now() - S.TraceRunStart, "steps",
+                       S.Steps);
+  Stepping.reset();
+  return Summary;
+}
+
+std::string Machine::deadlockMessage() const {
+  return "deadlock: all unfinished threads are blocked on send/recv "
+         "with no matching partner\n" +
+         blockedStateDump();
+}
+
+std::string Machine::blockedStateDump() const {
+  const Interner &Names = Checked.Prog->Names;
+  std::string Out;
+  for (const ThreadState &T : Threads) {
+    if (T.Status == ThreadStatus::Finished)
+      continue;
+    Out += "  thread " + std::to_string(T.Id) + ": ";
+    switch (T.Status) {
+    case ThreadStatus::Runnable:
+      Out += "runnable";
+      break;
+    case ThreadStatus::BlockedSend:
+      Out += "blocked in send(" + toString(T.CommType, Names) +
+             ", payload " + toString(T.PendingSend);
+      if (T.PendingSend.isLoc())
+        Out += ", live-set " +
+               std::to_string(TheHeap.liveSet(T.PendingSend.asLoc())
+                                  .size()) +
+               " objects";
+      Out += ")";
+      break;
+    case ThreadStatus::BlockedRecv:
+      Out += "blocked in recv<" + toString(T.CommType, Names) + ">";
+      break;
+    case ThreadStatus::Failed:
+      Out += "failed: " + T.Error;
+      break;
+    case ThreadStatus::Finished:
+      break;
+    }
+    Out += " (reservation: " + std::to_string(T.Reservation.size()) +
+           " objects)\n";
+  }
+  if (!Out.empty())
+    Out.pop_back();
+  return Out;
+}
+
+uint64_t Machine::resultFingerprint() const {
+  uint64_t H = 1469598103934665603ull; // FNV-1a
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  // Canonical location renaming: locations are numbered in DFS visit
+  // order from the thread results, so allocation order — which varies
+  // across schedules — cannot leak into the fingerprint.
+  std::unordered_map<uint32_t, uint32_t> Canon;
+  std::function<void(const Value &)> Visit = [&](const Value &V) {
+    switch (V.kind()) {
+    case Value::Kind::Unit:
+      Mix(1);
+      return;
+    case Value::Kind::None:
+      Mix(2);
+      return;
+    case Value::Kind::Bool:
+      Mix(3);
+      Mix(V.asBool() ? 1 : 0);
+      return;
+    case Value::Kind::Int:
+      Mix(4);
+      Mix(static_cast<uint64_t>(V.asInt()));
+      return;
+    case Value::Kind::Location: {
+      Loc L = V.asLoc();
+      auto [It, Fresh] = Canon.emplace(
+          L.Index, static_cast<uint32_t>(Canon.size()));
+      Mix(5);
+      Mix(It->second);
+      if (!Fresh)
+        return; // back-edge (cycles): the canonical id suffices
+      const Object &O = TheHeap.get(L);
+      Mix(O.Struct->Name.Id);
+      Mix(O.Fields.size());
+      for (const Value &F : O.Fields)
+        Visit(F);
+      return;
+    }
+    }
+  };
+  for (const ThreadState &T : Threads) {
+    Mix(static_cast<uint64_t>(T.Status));
+    Visit(T.Result);
+  }
+  return H;
+}
+
+Expected<MachineSummary> Machine::run(uint64_t Seed) {
+  if (ExpectedVoid B = beginStepping(); !B)
+    return B.takeFailure();
 
   uint64_t Rng = Seed ? Seed : 0;
   auto NextRandom = [&Rng]() {
@@ -229,94 +479,21 @@ Expected<MachineSummary> Machine::run(uint64_t Seed) {
     Rng ^= Rng << 17;
     return Rng;
   };
-
-  uint64_t Steps = 0;
   size_t RoundRobin = 0;
-  std::vector<size_t> Runnable; // hoisted: reused across scheduler turns
-
-  // EC3 pairing walks the heap (live-set transfer), so it can trap on an
-  // invalid location just like a step; catch at the same frontier and
-  // surface the typed fault instead of dying.
-  auto Communicate = [&](std::string &Error) {
-    try {
-      return tryCommunicate(Error);
-    } catch (const RuntimeFaultError &E) {
-      LastFault = E.Fault;
-      Error = E.Fault.render();
-      return false;
-    }
-  };
 
   while (true) {
-    // Collect runnable threads.
-    Runnable.clear();
-    bool AllFinished = true;
-    for (size_t I = 0; I < Threads.size(); ++I) {
-      if (Threads[I].Status == ThreadStatus::Runnable)
-        Runnable.push_back(I);
-      if (Threads[I].Status != ThreadStatus::Finished)
-        AllFinished = false;
-    }
-    if (AllFinished)
+    Expected<MachineProgress> P = checkProgress();
+    if (!P)
+      return P.takeFailure();
+    if (*P == MachineProgress::Done)
       break;
-    if (Runnable.empty()) {
-      // Try pairing communication; otherwise deadlock.
-      std::string Error;
-      if (Communicate(Error))
-        continue;
-      if (!Error.empty())
-        return fail(Error);
-      return fail("deadlock: all unfinished threads are blocked on "
-                  "send/recv with no matching partner");
-    }
-
+    if (*P == MachineProgress::Deadlock)
+      return fail(deadlockMessage());
+    const std::vector<size_t> &Runnable = runnableThreads();
     size_t Pick = Seed ? Runnable[NextRandom() % Runnable.size()]
                        : Runnable[RoundRobin++ % Runnable.size()];
-    ThreadState &T = Threads[Pick];
-    if (Opts.Faults && Opts.Faults->shouldFire(FaultPoint::SchedStep)) {
-      RuntimeFault F;
-      F.Kind = RuntimeFaultKind::Injected;
-      F.Detail = static_cast<uint32_t>(FaultPoint::SchedStep);
-      F.Thread = T.Id;
-      LastFault = F;
-      return fail(F.render());
-    }
-    StepOutcome Out = stepThread(T, Services);
-    ++Steps;
-    if (Opts.StepValidator) {
-      if (auto Problem = Opts.StepValidator(*this))
-        return fail("step validator failed after step " +
-                    std::to_string(Steps) + ": " + *Problem);
-    }
-    if (Steps > Opts.MaxSteps)
-      return fail("machine exceeded the step limit");
-    switch (Out) {
-    case StepOutcome::Progress:
-    case StepOutcome::Finished:
-      break;
-    case StepOutcome::BlockedSend:
-    case StepOutcome::BlockedRecv: {
-      std::string Error;
-      (void)Communicate(Error);
-      if (!Error.empty())
-        return fail(Error);
-      break;
-    }
-    case StepOutcome::Stuck:
-      if (T.Fault)
-        LastFault = T.Fault;
-      return fail("thread " + std::to_string(T.Id) + " is stuck: " +
-                  T.Error);
-    }
+    if (Expected<McStepRecord> R = stepChosen(Pick); !R)
+      return R.takeFailure();
   }
-
-  MachineSummary Summary;
-  Summary.Steps = Steps;
-  for (const ThreadState &T : Threads)
-    Summary.ThreadResults.push_back(T.Result);
-  Stats.Steps = Steps;
-  if (TraceCtl)
-    TraceCtl->record("machine.run", "machine", 'X', TraceRunStart,
-                     TraceCtl->now() - TraceRunStart, "steps", Steps);
-  return Summary;
+  return finishStepping();
 }

@@ -89,6 +89,36 @@ struct MachineSummary {
   uint64_t Steps = 0;
 };
 
+/// What one scheduled step did: the model checker's view of a transition
+/// (src/mc/DependencyRelation.h decides commutativity over these) and
+/// the payload of deadlock/counterexample reports.
+struct McStepRecord {
+  enum class Kind : uint8_t {
+    Local,     ///< Progressed without touching the communication layer.
+    Finish,    ///< The thread produced its result.
+    BlockSend, ///< Blocked in send-τ with no matching receiver yet.
+    BlockRecv, ///< Blocked in recv-τ with no matching sender yet.
+    CommPair,  ///< Blocked and immediately paired (the EC3 transfer ran).
+  };
+  ThreadId Thread = 0;
+  Kind StepKind = Kind::Local;
+  /// Valid for BlockSend/BlockRecv/CommPair: the rendezvous type τ.
+  /// Type-routed pairing makes τ the channel identity, so two comm steps
+  /// of different types never interact.
+  bool HasCommType = false;
+  Type CommType{};
+  /// Valid for CommPair: the thread resumed on the other side.
+  ThreadId Partner = 0;
+  /// Bitmask of FaultPoint indices whose occurrence counter advanced
+  /// during the step. Armed fault points are global mutable state (the
+  /// injector's triggers are occurrence-indexed), so two steps that
+  /// consult the same armed point do not commute.
+  uint32_t FaultPointsTouched = 0;
+};
+
+/// State of a stepping session between choices.
+enum class MachineProgress : uint8_t { Running, Done, Deadlock };
+
 /// The concurrent abstract machine.
 class Machine {
 public:
@@ -126,8 +156,49 @@ public:
   /// Runs until every thread finishes. \p Seed selects the interleaving:
   /// 0 is round-robin; otherwise a seeded xorshift picks among runnable
   /// threads. Fails on stuck threads (reservation violations / runtime
-  /// faults), deadlock, or step exhaustion.
+  /// faults), deadlock, or step exhaustion. Implemented on the stepping
+  /// API below, so run() and externally driven schedules share one code
+  /// path.
   Expected<MachineSummary> run(uint64_t Seed = 0);
+
+  //===--------------------------------------------------------------------===
+  // Incremental stepping (the model checker / schedule replay drive the
+  // scheduler choice themselves)
+  //===--------------------------------------------------------------------===
+
+  /// Opens a stepping session: trace buffers, interpreter services, and
+  /// the thread.start fault points (which fire before any choice is
+  /// made). Fails when an injected thread.start fault aborts the run.
+  ExpectedVoid beginStepping();
+  /// Classifies the current configuration. Attempts EC3 pairing first
+  /// when no thread is runnable (mirroring run()), so Deadlock really
+  /// means no step and no pairing can happen. Fails when the pairing
+  /// attempt itself is illegal (reservation violation / trap).
+  Expected<MachineProgress> checkProgress();
+  /// Thread indices runnable after the last checkProgress() call.
+  const std::vector<size_t> &runnableThreads() const;
+  /// Advances thread \p Pick by one small step, mirroring exactly one
+  /// scheduler turn of run(): sched.step fault point, the step itself,
+  /// the step validator, the step limit, and eager EC3 pairing when the
+  /// step blocked. Returns what the step did.
+  Expected<McStepRecord> stepChosen(size_t Pick);
+  /// Closes the session once checkProgress() returned Done: summary,
+  /// machine.run trace span, aggregated step count.
+  Expected<MachineSummary> finishStepping();
+
+  /// The deadlock diagnostic run() and the model checker report: the
+  /// headline plus a per-thread blocked-state dump.
+  std::string deadlockMessage() const;
+  /// One line per unfinished thread: the blocking channel op, its
+  /// rendezvous type, the pending payload (with live-set size), and the
+  /// reservation size.
+  std::string blockedStateDump() const;
+  /// Order-insensitive fingerprint of the final configuration: thread
+  /// statuses and results with heap locations renamed in DFS visit
+  /// order, so two schedules that allocate in different orders compare
+  /// equal iff their results are isomorphic. The model checker uses it
+  /// for the schedule-independence (confluence) property.
+  uint64_t resultFingerprint() const;
 
   Heap &heap() { return TheHeap; }
   const Heap &heap() const { return TheHeap; }
@@ -152,8 +223,22 @@ private:
   /// receiver (EC3). Returns true if a transfer happened; the error slot
   /// is set when the transfer itself is illegal.
   bool tryCommunicate(std::string &Error);
+  /// tryCommunicate behind the trap frontier: an EC3 walk over an
+  /// invalid location surfaces as a typed fault, not a process death.
+  bool communicate(std::string &Error);
 
   bool valueMatchesType(const Value &V, const Type &Ty) const;
+
+  /// Per-session state of the incremental stepping API.
+  struct SteppingState {
+    InterpServices Services;
+    TraceBuffer *TraceCtl = nullptr;
+    uint64_t TraceRunStart = 0;
+    uint64_t Steps = 0;
+    std::vector<size_t> Runnable;
+    std::vector<ThreadStatus> StatusScratch;
+  };
+  std::optional<SteppingState> Stepping;
 
   const CheckedProgram &Checked;
   MachineOptions Opts;

@@ -79,6 +79,9 @@ void RuntimeMetrics::merge(const RuntimeMetrics &O) {
       ChannelPeakDepth > O.ChannelPeakDepth ? ChannelPeakDepth
                                             : O.ChannelPeakDepth;
   ChannelDroppedValues += O.ChannelDroppedValues;
+  McSchedulesExplored += O.McSchedulesExplored;
+  McSchedulesPruned += O.McSchedulesPruned;
+  McStatesFingerprinted += O.McStatesFingerprinted;
   SessionsActive += O.SessionsActive;
   CacheHits += O.CacheHits;
   CacheMisses += O.CacheMisses;
@@ -123,6 +126,9 @@ void RuntimeMetrics::forEach(
   Fn("analysis_must_disconnected", AnalysisMustDisconnected);
   Fn("analysis_must_connected", AnalysisMustConnected);
   Fn("analysis_unknown", AnalysisUnknown);
+  Fn("mc_schedules_explored", McSchedulesExplored);
+  Fn("mc_schedules_pruned", McSchedulesPruned);
+  Fn("mc_states_fingerprinted", McStatesFingerprinted);
   Fn("sessions_active", SessionsActive);
   Fn("cache_hits", CacheHits);
   Fn("cache_misses", CacheMisses);

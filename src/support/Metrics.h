@@ -129,6 +129,15 @@ struct RuntimeMetrics {
   /// Values discarded because they were sent into a closing run.
   uint64_t ChannelDroppedValues = 0;
 
+  // Model-checker counters (`fearlessc mc` only; zero elsewhere).
+  /// Full executions the explorer ran to an end state.
+  uint64_t McSchedulesExplored = 0;
+  /// Redundant branches sleep-set pruning retired without re-execution.
+  uint64_t McSchedulesPruned = 0;
+  /// Completed end states canonically fingerprinted for the
+  /// schedule-independence check.
+  uint64_t McStatesFingerprinted = 0;
+
   // Daemon counters (fearlessd only; zero in standalone runs). The
   // daemon's `metrics` op reports its lifetime aggregate with these
   // gauges stamped in (docs/SERVER.md).

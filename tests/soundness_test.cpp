@@ -16,6 +16,7 @@
 #include "TestUtil.h"
 
 #include "checker/Unify.h"
+#include "mc/Dpor.h"
 #include "runtime/Invariants.h"
 
 #include <gtest/gtest.h>
@@ -40,31 +41,49 @@ std::optional<std::string> validateState(const Machine &M) {
 }
 
 TEST(Soundness, EveryStepOfDllRemoveTailIsSound) {
+  // Formerly a three-seed sample; the model checker now walks the full
+  // (here: single-threaded, so singleton) schedule space with the §6
+  // validators machine-checking every small step.
   Pipeline P = mustCompile(programs::DllSuite);
-  for (uint64_t Seed : {0u, 1u, 2u}) {
-    MachineOptions Opts;
-    Opts.StepValidator = validateState;
-    Machine M(P.Checked, Opts);
-    ThreadId T = M.createThread();
-    Loc List = buildDll(P, M, T, {1, 2, 3, 4});
-    M.startThread(T, sym(P, "remove_tail"), {Value::locVal(List)});
-    Expected<MachineSummary> R = M.run(Seed);
-    ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
-  }
+  Expected<mc::McReport> Rep = mc::explore(
+      [&P]() {
+        MachineOptions Opts;
+        Opts.StepValidator = validateState;
+        auto M = std::make_unique<Machine>(P.Checked, Opts);
+        ThreadId T = M->createThread();
+        Loc List = buildDll(P, *M, T, {1, 2, 3, 4});
+        M->startThread(T, sym(P, "remove_tail"), {Value::locVal(List)});
+        return M;
+      },
+      mc::McOptions{});
+  ASSERT_TRUE(Rep.hasValue()) << (Rep ? "" : Rep.error().render());
+  EXPECT_TRUE(Rep->Complete) << Rep->Clipped;
+  EXPECT_FALSE(Rep->Counterexample.has_value())
+      << Rep->Counterexample->Reason;
+  EXPECT_GE(Rep->SchedulesExplored, 1u);
 }
 
 TEST(Soundness, EveryStepOfMessagePipelineIsSound) {
+  // Formerly seeds {0, 3, 9}; now every interleaving of the two-thread
+  // whole-list pipeline, with the validators run at each step of each
+  // schedule.
   Pipeline P = mustCompile(programs::MessagePassing);
-  for (uint64_t Seed : {0u, 3u, 9u}) {
-    MachineOptions Opts;
-    Opts.StepValidator = validateState;
-    Machine M(P.Checked, Opts);
-    M.spawn(sym(P, "producer_lists"),
-            {Value::intVal(2), Value::intVal(3)});
-    M.spawn(sym(P, "consumer_lists"), {Value::intVal(2)});
-    Expected<MachineSummary> R = M.run(Seed);
-    ASSERT_TRUE(R.hasValue()) << (R ? "" : R.error().render());
-  }
+  Expected<mc::McReport> Rep = mc::explore(
+      [&P]() {
+        MachineOptions Opts;
+        Opts.StepValidator = validateState;
+        auto M = std::make_unique<Machine>(P.Checked, Opts);
+        M->spawn(sym(P, "producer_lists"),
+                 {Value::intVal(2), Value::intVal(3)});
+        M->spawn(sym(P, "consumer_lists"), {Value::intVal(2)});
+        return M;
+      },
+      mc::McOptions{});
+  ASSERT_TRUE(Rep.hasValue()) << (Rep ? "" : Rep.error().render());
+  EXPECT_TRUE(Rep->Complete) << Rep->Clipped;
+  EXPECT_FALSE(Rep->Counterexample.has_value())
+      << Rep->Counterexample->Reason;
+  EXPECT_GE(Rep->SchedulesExplored, 2u);
 }
 
 TEST(Soundness, EveryStepOfRbInsertIsSound) {

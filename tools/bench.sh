@@ -5,7 +5,7 @@
 #
 #===----------------------------------------------------------------------===#
 #
-# Reproducible benchmark baseline pipeline: builds the eleven bench_*
+# Reproducible benchmark baseline pipeline: builds the twelve bench_*
 # binaries, runs each with --benchmark_out_format=json (counters included,
 # e.g. the RuntimeMetrics counters exported by bench_concurrency, the
 # allocs_per_iter / losing_side_visited counters of bench_ifdisconnected,
@@ -13,14 +13,16 @@
 # steals / parks counters of bench_scheduler, the vm_instructions /
 # ic_hits / checks_erased counters of bench_vm, the verdict-split
 # counters of bench_analysis, and the p50_ns / p99_ns /
-# warm_speedup_p50 / requests_rejected counters of bench_server), and
+# warm_speedup_p50 / requests_rejected counters of bench_server, and
+# the schedules_explored / pruning_ratio_vs_naive counters of
+# bench_mc), and
 # merges the
 # per-binary JSON into one BENCH_*.json at the repo root. Compare two
 # such files with tools/bench_compare.py.
 #
 # Usage: tools/bench.sh [options]
 #   -B DIR        build directory                (default: <repo>/build)
-#   -o FILE       merged output file             (default: <repo>/BENCH_pr9.json)
+#   -o FILE       merged output file             (default: <repo>/BENCH_pr10.json)
 #   -t SECONDS    --benchmark_min_time per bench (default: 0.05)
 #   -f REGEX      --benchmark_filter passed through
 #   --smoke       CI smoke mode: min_time 0.01, output under the build
@@ -38,7 +40,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 BUILD="$ROOT/build"
-OUT="$ROOT/BENCH_pr9.json"
+OUT="$ROOT/BENCH_pr10.json"
 MIN_TIME="0.05"
 FILTER=""
 SMOKE=0
@@ -61,7 +63,7 @@ fi
 
 BENCHES=(bench_table1 bench_checker bench_ifdisconnected bench_runtime
          bench_concurrency bench_trace bench_faults bench_scheduler
-         bench_vm bench_analysis bench_server)
+         bench_vm bench_analysis bench_server bench_mc)
 
 echo "==> [bench] build (${BUILD})"
 cmake -B "$BUILD" -S "$ROOT" >/dev/null

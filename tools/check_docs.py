@@ -43,6 +43,14 @@ Checks, failing with a nonzero exit on the first class of drift found:
     flag scan of check 3.
 10. Every handbook links the shared vocabulary: README.md, DESIGN.md,
     and each docs/*.md reference GLOSSARY.md.
+11. The model-checker docs: fearlessc accepts the `mc` surface the docs
+    are written around (`--schedule`, `--spawn`, `--mc-depth`,
+    `--mc-schedules`, `--mc-preemptions`, `--mc-checks`, `--mc-dpor`,
+    `--mc-out`); docs/MODELCHECK.md documents the `fearlessc mc`
+    subcommand and the `fearless-schedule-v1` file format, and joins
+    the flag scan of check 3 plus the GLOSSARY link rule of check 10.
+    The mc counters (mc_schedules_explored etc.) are covered by checks
+    1-2 like any other RuntimeMetrics registration.
 
 Run from anywhere: paths are resolved relative to the repo root. Wired
 into tools/ci.sh; `--self-test` exercises the extraction logic against
@@ -62,6 +70,7 @@ SCHEDULER_MD = ROOT / "docs" / "SCHEDULER.md"
 IMPLEMENTATION_MD = ROOT / "docs" / "IMPLEMENTATION.md"
 ANALYSIS_MD = ROOT / "docs" / "ANALYSIS.md"
 SERVER_MD = ROOT / "docs" / "SERVER.md"
+MODELCHECK_MD = ROOT / "docs" / "MODELCHECK.md"
 GLOSSARY_MD = ROOT / "docs" / "GLOSSARY.md"
 LANGUAGE_MD = ROOT / "docs" / "LANGUAGE.md"
 DESIGN_MD = ROOT / "DESIGN.md"
@@ -253,8 +262,8 @@ def main() -> int:
 
     for path in (METRICS_CPP, OBSERVABILITY_MD, SCHEDULER_MD, README_MD,
                  IMPLEMENTATION_MD, ANALYSIS_MD, SERVER_MD, GLOSSARY_MD,
-                 LANGUAGE_MD, DESIGN_MD, FEARLESSC_CPP, FEARLESSD_CPP,
-                 WIRE_CPP, FAULTINJECTOR_CPP):
+                 LANGUAGE_MD, DESIGN_MD, MODELCHECK_MD, FEARLESSC_CPP,
+                 FEARLESSD_CPP, WIRE_CPP, FAULTINJECTOR_CPP):
         if not path.exists():
             print(f"check_docs: missing {path.relative_to(ROOT)}",
                   file=sys.stderr)
@@ -288,6 +297,7 @@ def main() -> int:
     implementation = IMPLEMENTATION_MD.read_text()
     readme = README_MD.read_text()
     server_doc = SERVER_MD.read_text()
+    modelcheck = MODELCHECK_MD.read_text()
     for doc_path, text in (
         (README_MD, readme),
         (OBSERVABILITY_MD, observability),
@@ -295,6 +305,7 @@ def main() -> int:
         (IMPLEMENTATION_MD, implementation),
         (ANALYSIS_MD, ANALYSIS_MD.read_text()),
         (SERVER_MD, server_doc),
+        (MODELCHECK_MD, modelcheck),
     ):
         for line, flag in extract_documented_flags(text):
             if flag not in accepted:
@@ -361,6 +372,25 @@ def main() -> int:
             print(
                 f"check_docs: fearlessc does not accept --{flag}, but "
                 f"the interprocedural-analysis docs depend on it",
+                file=sys.stderr,
+            )
+            failures += 1
+
+    # 11: the model-checker docs.
+    for flag in ("schedule", "spawn", "mc-depth", "mc-schedules",
+                 "mc-preemptions", "mc-checks", "mc-dpor", "mc-out"):
+        if flag not in accepted:
+            print(
+                f"check_docs: fearlessc does not accept --{flag}, but "
+                f"the model-checker docs depend on it",
+                file=sys.stderr,
+            )
+            failures += 1
+    for needle in ("fearlessc mc", "fearless-schedule-v1"):
+        if needle not in modelcheck:
+            print(
+                f"check_docs: docs/MODELCHECK.md does not document "
+                f"'{needle}'",
                 file=sys.stderr,
             )
             failures += 1
@@ -442,7 +472,8 @@ def main() -> int:
 
     # 10: every handbook links the shared vocabulary.
     for doc_path in (README_MD, DESIGN_MD, LANGUAGE_MD, IMPLEMENTATION_MD,
-                     ANALYSIS_MD, OBSERVABILITY_MD, SCHEDULER_MD, SERVER_MD):
+                     ANALYSIS_MD, OBSERVABILITY_MD, SCHEDULER_MD, SERVER_MD,
+                     MODELCHECK_MD):
         if "GLOSSARY" not in doc_path.read_text():
             print(
                 f"check_docs: {doc_path.relative_to(ROOT)} does not link "

@@ -12,7 +12,10 @@
 # standalone on every example, warm-cache assertion, draining
 # shutdown), a seeded chaos smoke (fault injection under supervision, 8
 # fixed seeds), a generated-corpus analysis smoke with an
-# interprocedural precision gate, then the same test suite, server
+# interprocedural precision gate, a model-checker smoke (the
+# erasure-soundness gate: `fearlessc mc --mc-checks=off` over the
+# examples and corpus, plus a deadlock fixture whose counterexample
+# schedule must replay deterministically), then the same test suite, server
 # smoke, and chaos smoke under ThreadSanitizer plus the corpus smoke
 # under AddressSanitizer. The concurrent runtime (ParallelExec, ChannelSet) is
 # the part of this repo most likely to rot silently — TSan and chaos
@@ -272,6 +275,84 @@ PYEOF
   done
 }
 
+# Model-checker smoke: the erasure-soundness gate (docs/MODELCHECK.md).
+# `fearlessc mc` explores the bounded schedule space of every checkable
+# example and three generated corpus programs with the dynamic
+# reservation checks ERASED (--mc-checks=off) while the §6 invariant
+# validators machine-check every small step — zero violations expected
+# in both modes (the per-run confluence check covers cross-schedule
+# result agreement), and the program *results* must be identical with
+# checks on and off (`run` vs `run --no-checks`; the mc step counts
+# legitimately differ, since erasing check instructions changes VM
+# batch boundaries). Then the seeded deadlock fixture must produce exit
+# 7 plus a counterexample schedule that `run --schedule` replays to the
+# same failure twice, byte for byte.
+run_mc_smoke() {
+  local name="$1" dir="$2"
+  local fc="$dir/tools/fearlessc"
+  echo "==> [$name] model-checker smoke (erasure-soundness gate)"
+  local f base on_out off_out run_on run_off
+  mc_gate() {
+    local src="$1" label="$2"
+    on_out="$("$fc" mc "$src" main --mc-depth 20000)"
+    off_out="$("$fc" mc "$src" main --mc-depth 20000 --mc-checks=off)"
+    if ! grep -q "no violations" <<<"$on_out" ||
+       ! grep -q "no violations" <<<"$off_out"; then
+      echo "==> [$name] FAIL: mc found a violation on $label:" \
+           "'$on_out' / '$off_out'" >&2
+      exit 1
+    fi
+    run_on="$("$fc" run "$src" main)"
+    run_off="$("$fc" run "$src" main --no-checks)"
+    if [[ "$run_on" != "$run_off" ]]; then
+      echo "==> [$name] FAIL: result changed with checks erased on" \
+           "$label: '$run_on' vs '$run_off'" >&2
+      exit 1
+    fi
+    echo "    $label: $(head -1 <<<"$off_out" | sed 's/^mc: //')" \
+         "(checks erased, results identical)"
+  }
+  for f in "$ROOT"/examples/*.fls; do
+    base="$(basename "$f")"
+    # Check-failure demonstration examples cannot be model-checked.
+    "$fc" check "$f" >/dev/null 2>&1 || {
+      echo "    $base: skipped (not checkable by design)"; continue; }
+    mc_gate "$f" "$base"
+  done
+  for seed in 7 21 42; do
+    local src="$dir/ci_mc_corpus_$seed.fls"
+    python3 "$ROOT/tools/gen_corpus.py" \
+      --seed "$seed" --functions 24 --shape mixed --out "$src"
+    mc_gate "$src" "corpus seed $seed"
+  done
+
+  # The two-thread pipeline explores a genuinely branching space clean.
+  "$fc" mc "$ROOT/examples/msg_pipeline.fls" consumer 2 \
+    --spawn producer:2 >/dev/null
+  echo "    msg_pipeline consumer/producer: branching space verified"
+
+  # Seeded deadlock fixture: exit 7 + a deterministically replayable
+  # counterexample schedule.
+  local sched="$dir/ci_mc_deadlock.sched"
+  expect_exit 7 "mc counterexample (deadlock fixture)" \
+    "$fc" mc "$ROOT/examples/msg_pipeline.fls" consumer 1 \
+    --mc-out "$sched"
+  [[ -f "$sched" ]] || {
+    echo "==> [$name] FAIL: mc did not write $sched" >&2; exit 1; }
+  local r1_exit=0 r2_exit=0
+  "$fc" run "$ROOT/examples/msg_pipeline.fls" consumer 1 \
+    --schedule "$sched" >"$dir/ci_mc_r1.out" 2>&1 || r1_exit=$?
+  "$fc" run "$ROOT/examples/msg_pipeline.fls" consumer 1 \
+    --schedule "$sched" >"$dir/ci_mc_r2.out" 2>&1 || r2_exit=$?
+  if [[ "$r1_exit" == 0 || "$r1_exit" != "$r2_exit" ]] ||
+     ! cmp -s "$dir/ci_mc_r1.out" "$dir/ci_mc_r2.out"; then
+    echo "==> [$name] FAIL: counterexample replay not deterministic" \
+         "(exits $r1_exit/$r2_exit)" >&2
+    exit 1
+  fi
+  echo "    deadlock fixture: exit 7, replay deterministic (exit $r1_exit twice)"
+}
+
 # Scheduler smoke: bench_scheduler's FEARLESS_SCHED_SMOKE hook runs the
 # 100,000-language-thread token ring to completion on the fixed default
 # worker pool and checks the ping-pong park/unpark path allocates nothing
@@ -325,6 +406,7 @@ run_cli_smoke "default" "$ROOT/build"
 run_vm_smoke "default" "$ROOT/build"
 run_server_smoke "default" "$ROOT/build"
 run_corpus_smoke "default" "$ROOT/build"
+run_mc_smoke "default" "$ROOT/build"
 run_sched_smoke "default" "$ROOT/build"
 run_chaos_smoke "default" "$ROOT/build"
 echo "==> [default] bench smoke"

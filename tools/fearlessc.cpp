@@ -12,6 +12,14 @@
 //                                       region lints (--samples analyzes
 //                                       every embedded sample instead)
 //   fearlessc run file.fls main [ints]  check, then run main(ints...)
+//   fearlessc mc file.fls [fn [ints]]   model-check the bounded schedule
+//                                       space of fn (default main) plus
+//                                       every --spawn thread: DFS over
+//                                       scheduler choices with DPOR +
+//                                       sleep-set pruning; a property
+//                                       violation exits 7 and writes a
+//                                       replayable counterexample
+//                                       schedule (docs/MODELCHECK.md)
 //   fearlessc disasm file.fls           print the compiled bytecode:
 //                                       chunks, constant pools, and the
 //                                       per-site check/erased decisions
@@ -44,18 +52,25 @@
 // composes with --metrics), --faults SPEC (deterministic fault
 // injection, e.g. "chan.send=nth:3,seed=7"; the FEARLESS_FAULTS env var
 // is the no-flag fallback — see docs/OBSERVABILITY.md),
-// --daemon SOCKET (serve the command through a fearlessd instance).
+// --daemon SOCKET (serve the command through a fearlessd instance),
+// --spawn FN[:ints] (extra root thread for machine-mode run/mc,
+// repeatable), --schedule FILE (replay a recorded schedule), and the mc
+// budgets --mc-depth N, --mc-schedules N, --mc-preemptions N,
+// --mc-checks=on|off, --mc-dpor=on|off, --mc-out FILE.
 //
 // Exit codes are distinct per failure class so scripts need not parse
 // messages: 0 ok, 1 generic/internal, 2 usage, 3 parse error, 4
 // check/verify rejection, 5 runtime fault (trap or injected), 6 daemon
-// overloaded / shutting down (--daemon only).
+// overloaded / shutting down (--daemon only), 7 model-checker
+// counterexample (mc only).
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/StaticDisconnect.h"
 #include "driver/CompilePipeline.h"
 #include "driver/Driver.h"
+#include "mc/Dpor.h"
+#include "runtime/Invariants.h"
 #include "server/Client.h"
 #include "support/FaultInjector.h"
 #include "support/Trace.h"
@@ -78,6 +93,7 @@ constexpr int ExitError = 1;        // generic / infrastructure
 constexpr int ExitUsage = 2;        // bad invocation (incl. bad --faults)
 constexpr int ExitParse = 3;        // syntax error
 constexpr int ExitRuntimeFault = 5; // runtime trap or injected fault
+constexpr int ExitCounterexample = 7; // mc found a property violation
 
 /// Maps a pipeline diagnostic to the CLI exit code for its stage.
 int exitCodeFor(const Diagnostic &D) { return exitCodeForStage(D.Stage); }
@@ -90,6 +106,9 @@ int usage() {
       "  check   <file>                parse + region-check + verify\n"
       "  analyze <file>|--samples      static disconnect verdicts + lints\n"
       "  run     <file> <fn> [ints...] check, then run fn(ints...)\n"
+      "  mc      <file> [fn [ints...]] model-check the bounded schedule\n"
+      "                                space (fn defaults to main; add\n"
+      "                                root threads with --spawn)\n"
       "  disasm  <file>                print the compiled bytecode\n"
       "  sig     <file>                print elaborated signatures\n"
       "  derive  <file> <fn>           print fn's typing derivation\n"
@@ -115,12 +134,30 @@ int usage() {
       "  --workers N     run on the parallel executor's M:N task\n"
       "                  scheduler with an N-worker pool (0 = auto)\n"
       "  --sched-seed N  scheduling-decision seed for --workers runs\n"
+      "  --spawn SPEC    extra root thread FN or FN:a,b,... for the\n"
+      "                  deterministic machine (run and mc; repeatable)\n"
+      "  --schedule FILE run: replay a recorded counterexample schedule\n"
+      "                  deterministically (fearless-schedule-v1)\n"
+      "  --mc-depth N    mc: max scheduler turns per execution\n"
+      "                  (default 100000)\n"
+      "  --mc-schedules N mc: max schedules to explore (0 = unlimited;\n"
+      "                  default 100000)\n"
+      "  --mc-preemptions N  mc: preemption bound (iterative context\n"
+      "                  bounding; default unbounded)\n"
+      "  --mc-checks=on|off  mc: explore with dynamic reservation checks\n"
+      "                  erased (off) — the erasure-soundness gate; the\n"
+      "                  §6 invariant validator always runs\n"
+      "  --mc-dpor=on|off    mc: DPOR + sleep-set pruning (off = naive\n"
+      "                  DFS over every interleaving)\n"
+      "  --mc-out FILE   mc: counterexample schedule path (default\n"
+      "                  <file>.sched)\n"
       "  --daemon SOCKET serve check/analyze/run/metrics/shutdown\n"
       "                  through the fearlessd instance at SOCKET\n"
       "                  (docs/SERVER.md); output is bit-identical to\n"
       "                  the standalone command\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 parse error, 4 check "
-      "error, 5 runtime fault, 6 daemon overloaded/shutting down\n");
+      "error, 5 runtime fault, 6 daemon overloaded/shutting down, "
+      "7 mc counterexample\n");
   return ExitUsage;
 }
 
@@ -168,7 +205,69 @@ struct Options {
   bool Werror = false;
   /// --daemon: fearlessd socket path; empty = standalone execution.
   std::string DaemonSocket;
+  /// --spawn SPEC (repeatable): extra root threads for the deterministic
+  /// machine, as "fn" or "fn:1,2,3". run and mc only.
+  std::vector<std::string> SpawnSpecs;
+  /// --schedule FILE: replay a recorded schedule (run only).
+  std::string SchedulePath;
+  /// mc budgets and modes (see mc/Dpor.h for semantics).
+  uint64_t McDepth = 100000;
+  uint64_t McSchedules = 100000;
+  int64_t McPreemptions = -1;
+  bool McChecksOn = true;
+  bool McDpor = true;
+  /// --mc-out: counterexample schedule path; empty = <file>.sched.
+  std::string McOut;
 };
+
+/// Parses a --spawn spec: "fn" or "fn:1,2,3" (int args only, matching
+/// the positional-argument rule for the entry function).
+bool parseSpawnSpec(const std::string &Spec,
+                    std::pair<std::string, std::vector<int64_t>> &Out) {
+  size_t Colon = Spec.find(':');
+  Out.first = Spec.substr(0, Colon == std::string::npos ? Spec.size()
+                                                        : Colon);
+  Out.second.clear();
+  if (Out.first.empty())
+    return false;
+  if (Colon == std::string::npos)
+    return true;
+  std::string Rest = Spec.substr(Colon + 1);
+  size_t Pos = 0;
+  while (Pos <= Rest.size()) {
+    size_t Comma = Rest.find(',', Pos);
+    std::string Tok = Rest.substr(
+        Pos, Comma == std::string::npos ? Rest.size() - Pos : Comma - Pos);
+    if (Tok.empty())
+      return false;
+    char *End = nullptr;
+    long long V = std::strtoll(Tok.c_str(), &End, 10);
+    if (*End != '\0')
+      return false;
+    Out.second.push_back(V);
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+/// Resolves the effective fault plan: --faults wins, then the
+/// FEARLESS_FAULTS env var, then none. A malformed spec is a usage
+/// error, diagnosed by the caller via the error channel.
+Expected<std::optional<FaultPlan>> resolveFaultPlan(const Options &Opts) {
+  std::string FaultSpec = Opts.FaultSpec;
+  if (!Opts.FaultSpecSet) {
+    if (const char *Env = std::getenv("FEARLESS_FAULTS"))
+      FaultSpec = Env;
+  }
+  if (FaultSpec.empty())
+    return std::optional<FaultPlan>();
+  Expected<FaultPlan> Plan = parseFaultSpec(FaultSpec);
+  if (!Plan)
+    return Plan.takeFailure();
+  return std::optional<FaultPlan>(*Plan);
+}
 
 /// The artifact-level option subset (the derivation-cache key side).
 /// Must mirror the daemon's mapping in Server::handleRequest so a
@@ -272,20 +371,38 @@ int cmdRun(const char *Path, const char *Fn,
   // Fault injection: --faults wins; the FEARLESS_FAULTS env var is the
   // hook for harnesses that cannot edit the command line. A malformed
   // spec is an invocation error (exit 2), reported before any work.
-  std::unique_ptr<FaultInjector> Faults;
-  std::string FaultSpec = Opts.FaultSpec;
-  if (!Opts.FaultSpecSet) {
-    if (const char *Env = std::getenv("FEARLESS_FAULTS"))
-      FaultSpec = Env;
+  Expected<std::optional<FaultPlan>> Plan = resolveFaultPlan(Opts);
+  if (!Plan) {
+    std::fprintf(stderr, "fearlessc: bad fault spec: %s\n",
+                 Plan.error().Message.c_str());
+    return ExitUsage;
   }
-  if (!FaultSpec.empty()) {
-    Expected<FaultPlan> Plan = parseFaultSpec(FaultSpec);
-    if (!Plan) {
-      std::fprintf(stderr, "fearlessc: bad fault spec: %s\n",
-                   Plan.error().Message.c_str());
+  std::unique_ptr<FaultInjector> Faults;
+  if (*Plan)
+    Faults = std::make_unique<FaultInjector>(**Plan);
+
+  // --spawn / --schedule: resolved up front so a malformed spec or an
+  // unreadable/corrupt schedule file is a clean error before any work.
+  std::vector<std::pair<std::string, std::vector<int64_t>>> Spawns;
+  for (const std::string &Spec : Opts.SpawnSpecs) {
+    std::pair<std::string, std::vector<int64_t>> S;
+    if (!parseSpawnSpec(Spec, S)) {
+      std::fprintf(stderr,
+                   "fearlessc: bad --spawn spec '%s' (expected FN or "
+                   "FN:int,int,...)\n",
+                   Spec.c_str());
       return ExitUsage;
     }
-    Faults = std::make_unique<FaultInjector>(*Plan);
+    Spawns.push_back(std::move(S));
+  }
+  std::optional<mc::Schedule> Sched;
+  if (!Opts.SchedulePath.empty()) {
+    Expected<mc::Schedule> S = mc::Schedule::loadFile(Opts.SchedulePath);
+    if (!S) {
+      std::fprintf(stderr, "fearlessc: %s\n", S.error().Message.c_str());
+      return ExitUsage;
+    }
+    Sched.emplace(S.take());
   }
 
   Expected<std::string> Source = readFile(Path);
@@ -333,6 +450,8 @@ int cmdRun(const char *Path, const char *Fn,
   Spec.Metrics = Opts.Metrics;
   Spec.Faults = Faults.get();
   Spec.Trace = UseTrace ? &Trace : nullptr;
+  Spec.Spawns = std::move(Spawns);
+  Spec.Schedule = Sched ? &*Sched : nullptr;
   RunOutcome O = runArtifact(**A, Spec);
 
   // Write whatever was traced even when the run fails — a trace of the
@@ -347,6 +466,224 @@ int cmdRun(const char *Path, const char *Fn,
   std::fputs(O.Out.c_str(), stdout);
   std::fputs(O.Err.c_str(), stderr);
   return O.Exit;
+}
+
+int cmdMc(const char *Path, const char *Fn,
+          const std::vector<int64_t> &Args, const Options &Opts) {
+  Expected<std::optional<FaultPlan>> Plan = resolveFaultPlan(Opts);
+  if (!Plan) {
+    std::fprintf(stderr, "fearlessc: bad fault spec: %s\n",
+                 Plan.error().Message.c_str());
+    return ExitUsage;
+  }
+  std::vector<std::pair<std::string, std::vector<int64_t>>> Spawns;
+  for (const std::string &Spec : Opts.SpawnSpecs) {
+    std::pair<std::string, std::vector<int64_t>> S;
+    if (!parseSpawnSpec(Spec, S)) {
+      std::fprintf(stderr,
+                   "fearlessc: bad --spawn spec '%s' (expected FN or "
+                   "FN:int,int,...)\n",
+                   Spec.c_str());
+      return ExitUsage;
+    }
+    Spawns.push_back(std::move(S));
+  }
+
+  Expected<std::string> Source = readFile(Path);
+  if (!Source) {
+    std::fprintf(stderr, "%s\n", Source.error().render().c_str());
+    return exitCodeFor(Source.error());
+  }
+
+  // --mc-checks=off composes with the user's --no-checks: exploration
+  // runs with dynamic reservation checks erased, while the §6 invariant
+  // validator below still machine-checks every intermediate state —
+  // that asymmetry is the erasure-soundness gate.
+  bool EffChecks = Opts.Checks && Opts.McChecksOn;
+  Options ArtifactOpts = Opts;
+  ArtifactOpts.Checks = EffChecks;
+  Expected<std::shared_ptr<const CompiledArtifact>> A =
+      buildArtifact(*Source, pipelineOptions(ArtifactOpts));
+  if (!A) {
+    std::fprintf(stderr, "%s\n", A.error().render().c_str());
+    return exitCodeFor(A.error());
+  }
+  const CompiledArtifact &Art = **A;
+  const Pipeline &P = Art.P;
+
+  // Resolve the entry and every --spawn up front (same int-argument
+  // rule as `run`).
+  auto Resolve =
+      [&](const std::string &FnName, const std::vector<int64_t> &IntArgs,
+          std::pair<Symbol, std::vector<Value>> &Out) -> bool {
+    Out.first = P.Prog->Names.intern(FnName);
+    const FnDecl *Decl = P.Prog->findFunction(Out.first);
+    if (!Decl) {
+      std::fprintf(stderr, "no function '%s'\n", FnName.c_str());
+      return false;
+    }
+    if (Decl->Params.size() != IntArgs.size()) {
+      std::fprintf(stderr,
+                   "'%s' takes %zu arguments, got %zu (only int "
+                   "arguments are supported from the CLI)\n",
+                   FnName.c_str(), Decl->Params.size(), IntArgs.size());
+      return false;
+    }
+    Out.second.clear();
+    for (size_t I = 0; I < IntArgs.size(); ++I) {
+      if (!(Decl->Params[I].ParamType == Type::intTy())) {
+        std::fprintf(stderr, "parameter %zu of '%s' is not int\n", I,
+                     FnName.c_str());
+        return false;
+      }
+      Out.second.push_back(Value::intVal(IntArgs[I]));
+    }
+    return true;
+  };
+  std::vector<std::pair<Symbol, std::vector<Value>>> Roots;
+  Roots.emplace_back();
+  if (!Resolve(Fn, Args, Roots.back()))
+    return ExitError;
+  for (const auto &[SpawnFn, SpawnArgs] : Spawns) {
+    Roots.emplace_back();
+    if (!Resolve(SpawnFn, SpawnArgs, Roots.back()))
+      return ExitError;
+  }
+
+  // Every execution gets a fresh machine and (when faults are armed) a
+  // fresh injector — the injector's occurrence counters are run-local
+  // state, exactly like the heap.
+  std::unique_ptr<FaultInjector> InjSlot;
+  mc::MachineFactory Factory = [&]() {
+    if (*Plan)
+      InjSlot = std::make_unique<FaultInjector>(**Plan);
+    MachineOptions MO;
+    MO.CheckReservations = EffChecks;
+    MO.StaticVerdicts = &Art.Verdicts;
+    MO.ElideDisconnect = Opts.Elide;
+    MO.Faults = InjSlot.get();
+    if (Art.VmCode)
+      MO.VmCode = &*Art.VmCode;
+    // The machine-checked gate: §6 invariant validators after every
+    // small step of every explored execution, checks on or off.
+    MO.StepValidator =
+        [](const Machine &M) -> std::optional<std::string> {
+      if (auto E = checkReservationsDisjoint(M))
+        return E;
+      if (auto E = checkStoredRefCounts(M.heap()))
+        return E;
+      return std::nullopt;
+    };
+    auto M = std::make_unique<Machine>(P.Checked, MO);
+    for (const auto &[S, V] : Roots)
+      M->spawn(S, std::vector<Value>(V));
+    return M;
+  };
+
+  mc::McOptions MO;
+  MO.MaxDepth = Opts.McDepth;
+  MO.MaxSchedules = Opts.McSchedules;
+  MO.PreemptionBound = Opts.McPreemptions;
+  MO.UseDpor = Opts.McDpor;
+  // An injected fault may legally kill one interleaving and not another,
+  // so result divergence is only a violation in fault-free exploration.
+  MO.CheckDivergence = !*Plan;
+
+  // Tracing: one mc.run span covering the whole exploration (the
+  // per-execution machines run untraced — thousands of executions would
+  // re-register the same ring buffers).
+  TraceSession Trace;
+  bool UseTrace = !Opts.TracePath.empty();
+  TraceBuffer *TB = nullptr;
+  uint64_t TraceStart = 0;
+  if (UseTrace) {
+    TB = &Trace.registerThread(4244, "mc");
+    TraceStart = TB->now();
+  }
+  Expected<mc::McReport> Rep = mc::explore(Factory, MO);
+  if (TB) {
+    TB->record("mc.run", "mc", 'X', TraceStart, TB->now() - TraceStart);
+    std::string TraceError;
+    if (!Trace.writeChromeJson(Opts.TracePath, TraceError))
+      std::fprintf(stderr, "fearlessc: %s\n", TraceError.c_str());
+  }
+  if (!Rep) {
+    std::fprintf(stderr, "fearlessc: %s\n", Rep.error().Message.c_str());
+    return ExitError;
+  }
+
+  if (Opts.Metrics) {
+    RuntimeMetrics M;
+    M.McSchedulesExplored = Rep->SchedulesExplored;
+    M.McSchedulesPruned = Rep->SchedulesPruned;
+    M.McStatesFingerprinted = Rep->StatesFingerprinted;
+    M.Steps = Rep->StepsExecuted;
+    M.AnalysisMustDisconnected = Art.MustDisconnectedSites;
+    M.AnalysisMustConnected = Art.MustConnectedSites;
+    M.AnalysisUnknown = Art.UnknownSites;
+    std::printf("%s\n", M.toJson().c_str());
+  }
+
+  if (Rep->Counterexample) {
+    mc::McCounterexample &CE = *Rep->Counterexample;
+    std::string Out =
+        Opts.McOut.empty() ? std::string(Path) + ".sched" : Opts.McOut;
+    // The schedule file carries its own provenance: the reason and the
+    // exact replay command, as comments.
+    std::string Replay = "fearlessc run " + std::string(Path) + " " + Fn;
+    for (int64_t V : Args)
+      Replay += " " + std::to_string(V);
+    for (const std::string &Spec : Opts.SpawnSpecs)
+      Replay += " --spawn " + Spec;
+    if (!EffChecks)
+      Replay += " --no-checks";
+    if (Opts.Engine != "vm")
+      Replay += " --engine " + Opts.Engine;
+    if (Opts.FaultSpecSet)
+      Replay += " --faults " + Opts.FaultSpec;
+    Replay += " --schedule " + Out;
+    size_t Pos = 0;
+    while (Pos < CE.Reason.size()) {
+      size_t Nl = CE.Reason.find('\n', Pos);
+      if (Nl == std::string::npos)
+        Nl = CE.Reason.size();
+      if (Nl > Pos)
+        CE.Sched.Comments.push_back(CE.Reason.substr(Pos, Nl - Pos));
+      Pos = Nl + 1;
+    }
+    CE.Sched.Comments.push_back("replay: " + Replay);
+    std::fprintf(stderr, "fearlessc: mc: counterexample: %s\n",
+                 CE.Reason.c_str());
+    if (!CE.BlockedDump.empty())
+      std::fprintf(stderr, "%s\n", CE.BlockedDump.c_str());
+    std::fprintf(stderr,
+                 "mc: after %llu schedule(s) explored, %llu pruned\n",
+                 static_cast<unsigned long long>(Rep->SchedulesExplored),
+                 static_cast<unsigned long long>(Rep->SchedulesPruned));
+    if (ExpectedVoid W = CE.Sched.writeFile(Out); !W) {
+      std::fprintf(stderr, "fearlessc: %s\n", W.error().Message.c_str());
+      return ExitError;
+    }
+    std::fprintf(stderr, "mc: counterexample schedule written to %s\n",
+                 Out.c_str());
+    std::fprintf(stderr, "mc: replay with: %s\n", Replay.c_str());
+    return ExitCounterexample;
+  }
+
+  std::printf("mc: %s %s: explored %llu schedule(s), %llu pruned, %llu "
+              "state(s) fingerprinted, max depth %llu, %llu step(s)\n",
+              Path, Fn,
+              static_cast<unsigned long long>(Rep->SchedulesExplored),
+              static_cast<unsigned long long>(Rep->SchedulesPruned),
+              static_cast<unsigned long long>(Rep->StatesFingerprinted),
+              static_cast<unsigned long long>(Rep->MaxDepthSeen),
+              static_cast<unsigned long long>(Rep->StepsExecuted));
+  if (!Rep->Complete)
+    std::printf("mc: warning: exploration incomplete: %s\n",
+                Rep->Clipped.c_str());
+  else
+    std::printf("mc: no violations in the bounded schedule space\n");
+  return 0;
 }
 
 int cmdDisasm(const char *Path, const Options &Opts) {
@@ -479,6 +816,13 @@ int cmdDaemon(const std::vector<const char *> &Positional,
     std::fprintf(stderr, "fearlessc: --trace and --faults are local "
                          "debugging hooks; they do not compose with "
                          "--daemon\n");
+    return ExitUsage;
+  }
+  if (!Opts.SchedulePath.empty() || !Opts.SpawnSpecs.empty() ||
+      !std::strcmp(Positional[0], "mc")) {
+    std::fprintf(stderr, "fearlessc: mc, --schedule, and --spawn drive "
+                         "the local deterministic machine; they do not "
+                         "compose with --daemon\n");
     return ExitUsage;
   }
   const char *Cmd = Positional[0];
@@ -615,6 +959,44 @@ int main(int argc, char **argv) {
       Opts.WorkersSet = true;
     } else if (!std::strcmp(argv[I], "--sched-seed") && I + 1 < argc)
       Opts.SchedSeed = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--spawn") && I + 1 < argc)
+      Opts.SpawnSpecs.push_back(argv[++I]);
+    else if (!std::strcmp(argv[I], "--schedule") && I + 1 < argc)
+      Opts.SchedulePath = argv[++I];
+    else if (!std::strcmp(argv[I], "--mc-depth") && I + 1 < argc)
+      Opts.McDepth = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--mc-schedules") && I + 1 < argc)
+      Opts.McSchedules = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--mc-preemptions") && I + 1 < argc)
+      Opts.McPreemptions = std::strtoll(argv[++I], nullptr, 10);
+    else if (!std::strncmp(argv[I], "--mc-checks=", 12)) {
+      const char *V = argv[I] + 12;
+      if (!std::strcmp(V, "on"))
+        Opts.McChecksOn = true;
+      else if (!std::strcmp(V, "off"))
+        Opts.McChecksOn = false;
+      else {
+        std::fprintf(stderr,
+                     "fearlessc: bad --mc-checks value '%s' (expected "
+                     "on or off)\n",
+                     V);
+        return ExitUsage;
+      }
+    } else if (!std::strncmp(argv[I], "--mc-dpor=", 10)) {
+      const char *V = argv[I] + 10;
+      if (!std::strcmp(V, "on"))
+        Opts.McDpor = true;
+      else if (!std::strcmp(V, "off"))
+        Opts.McDpor = false;
+      else {
+        std::fprintf(stderr,
+                     "fearlessc: bad --mc-dpor value '%s' (expected on "
+                     "or off)\n",
+                     V);
+        return ExitUsage;
+      }
+    } else if (!std::strcmp(argv[I], "--mc-out") && I + 1 < argc)
+      Opts.McOut = argv[++I];
     else if (!std::strcmp(argv[I], "--engine") && I + 1 < argc)
       Opts.Engine = argv[++I];
     else if (!std::strncmp(argv[I], "--engine=", 9))
@@ -649,6 +1031,14 @@ int main(int argc, char **argv) {
     for (size_t I = 3; I < Positional.size(); ++I)
       Args.push_back(std::strtoll(Positional[I], nullptr, 10));
     return cmdRun(Positional[1], Positional[2], Args, Opts);
+  }
+  if (!std::strcmp(Cmd, "mc") && Positional.size() >= 2) {
+    std::vector<int64_t> Args;
+    for (size_t I = 3; I < Positional.size(); ++I)
+      Args.push_back(std::strtoll(Positional[I], nullptr, 10));
+    return cmdMc(Positional[1],
+                 Positional.size() >= 3 ? Positional[2] : "main", Args,
+                 Opts);
   }
   if (!std::strcmp(Cmd, "disasm") && Positional.size() == 2)
     return cmdDisasm(Positional[1], Opts);
